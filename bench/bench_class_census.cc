@@ -1,0 +1,139 @@
+// Experiment E5 (EXPERIMENTS.md): the class landscape. Classifies a corpus
+// of random schemes and reports the population of each class as counters —
+// executable evidence for the paper's containment picture (Theorems
+// 5.2-5.4): independent ∪ γ-acyclic-BCNF ⊆ independence-reducible, and
+// split-free ∩ independence-reducible = ctm.
+//
+// The per-scheme classification cost is also timed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/classify.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+struct Census {
+  size_t total = 0;
+  size_t valid = 0;
+  size_t bcnf = 0;
+  size_t independent = 0;
+  size_t key_equivalent = 0;
+  size_t gamma_acyclic = 0;
+  size_t alpha_acyclic = 0;
+  size_t reducible = 0;
+  size_t ctm = 0;
+  size_t containment_violations = 0;
+};
+
+Census RunCensus(size_t universe, size_t relations, size_t count,
+                 bool acyclicity) {
+  Census census;
+  for (uint64_t seed = 0; seed < count; ++seed) {
+    RandomSchemeOptions opt;
+    opt.universe_size = universe;
+    opt.relations = relations;
+    opt.min_arity = 2;
+    opt.max_arity = 3;
+    opt.seed = seed * 7919 + universe;
+    DatabaseScheme s = MakeRandomScheme(opt);
+    SchemeClassification c = ClassifyScheme(s, acyclicity);
+    ++census.total;
+    census.valid += c.valid.ok();
+    census.bcnf += c.bcnf;
+    census.independent += c.independent;
+    census.key_equivalent += c.key_equivalent;
+    census.gamma_acyclic += c.gamma_acyclic;
+    census.alpha_acyclic += c.alpha_acyclic;
+    census.reducible += c.independence_reducible;
+    census.ctm += c.ctm;
+    // Theorem 5.3: independent ⇒ accepted. Key-equivalent ⇒ accepted.
+    // Theorem 5.2: γ-acyclic ∧ BCNF ⇒ accepted.
+    if ((c.independent && !c.independence_reducible) ||
+        (c.key_equivalent && !c.independence_reducible) ||
+        (acyclicity && c.gamma_acyclic && c.bcnf &&
+         !c.independence_reducible)) {
+      ++census.containment_violations;
+    }
+  }
+  return census;
+}
+
+void ReportCensus(benchmark::State& bench, const Census& census) {
+  auto frac = [&](size_t n) {
+    return static_cast<double>(n) / static_cast<double>(census.total);
+  };
+  bench.counters["schemes"] = static_cast<double>(census.total);
+  bench.counters["valid"] = frac(census.valid);
+  bench.counters["bcnf"] = frac(census.bcnf);
+  bench.counters["independent"] = frac(census.independent);
+  bench.counters["key_equiv"] = frac(census.key_equivalent);
+  bench.counters["gamma_acyclic"] = frac(census.gamma_acyclic);
+  bench.counters["alpha_acyclic"] = frac(census.alpha_acyclic);
+  bench.counters["reducible"] = frac(census.reducible);
+  bench.counters["ctm"] = frac(census.ctm);
+  bench.counters["containment_violations"] =
+      static_cast<double>(census.containment_violations);
+}
+
+// Small schemes: γ-acyclicity included.
+void BM_Census_SmallSchemes(benchmark::State& bench) {
+  Census census;
+  for (auto _ : bench) {
+    census = RunCensus(/*universe=*/5, /*relations=*/4, /*count=*/150,
+                       /*acyclicity=*/true);
+    benchmark::DoNotOptimize(census);
+  }
+  ReportCensus(bench, census);
+  IRD_CHECK(census.containment_violations == 0);
+}
+BENCHMARK(BM_Census_SmallSchemes)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Larger schemes: acyclicity tests skipped (exponential), the rest scale.
+void BM_Census_MediumSchemes(benchmark::State& bench) {
+  Census census;
+  for (auto _ : bench) {
+    census = RunCensus(/*universe=*/8, /*relations=*/6, /*count=*/300,
+                       /*acyclicity=*/true);
+    benchmark::DoNotOptimize(census);
+  }
+  ReportCensus(bench, census);
+  IRD_CHECK(census.containment_violations == 0);
+}
+BENCHMARK(BM_Census_MediumSchemes)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_Census_WideSchemes(benchmark::State& bench) {
+  Census census;
+  for (auto _ : bench) {
+    census = RunCensus(/*universe=*/12, /*relations=*/10, /*count=*/200,
+                       /*acyclicity=*/false);
+    benchmark::DoNotOptimize(census);
+  }
+  ReportCensus(bench, census);
+  IRD_CHECK(census.containment_violations == 0);
+}
+BENCHMARK(BM_Census_WideSchemes)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Single-scheme classification latency.
+void BM_ClassifyOne(benchmark::State& bench) {
+  RandomSchemeOptions opt;
+  opt.universe_size = static_cast<size_t>(bench.range(0));
+  opt.relations = static_cast<size_t>(bench.range(0)) - 2;
+  opt.seed = 3;
+  DatabaseScheme s = MakeRandomScheme(opt);
+  for (auto _ : bench) {
+    SchemeClassification c = ClassifyScheme(s, /*test_acyclicity=*/false);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ClassifyOne)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+}  // namespace ird
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+// Experiment E2 (EXPERIMENTS.md): the maintenance-cost landscape.
+//
+// Paper claims reproduced:
+//  * Theorem 3.3: split-free key-equivalent schemes are ctm — Algorithm 5's
+//    per-insert cost is flat in the state size.
+//  * Theorem 3.2: key-equivalent schemes are algebraic-maintainable —
+//    Algorithm 2's cost is flat in the state size (given the maintained
+//    representative-instance index).
+//  * The naive baseline (re-chase the whole state tableau) grows linearly+
+//    with the state — this is the cost the paper's algorithms remove.
+//
+// Series: per-CheckInsert time vs state size (number of entities), for
+//  - ctm/chain:       Algorithm 5 on the split-free chain scheme
+//  - alg2/chain:      Algorithm 2 on the same scheme
+//  - alg2/split:      Algorithm 2 on the split scheme (Example 5 family)
+//  - naive/chain, naive/split: full re-chase baseline
+
+#include <benchmark/benchmark.h>
+
+#include "core/block_maintainer.h"
+#include "core/ctm_maintainer.h"
+#include "core/key_equivalent_maintainer.h"
+#include "relation/weak_instance.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+constexpr size_t kStreamLength = 256;
+constexpr double kConflictRate = 0.25;
+
+DatabaseState MakeState(const DatabaseScheme& scheme, size_t entities) {
+  StateGenOptions opt;
+  opt.entities = entities;
+  opt.coverage = 0.7;
+  opt.seed = 1234;
+  return MakeConsistentState(scheme, opt);
+}
+
+void BM_CtmCheckInsert_Chain(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeChainScheme(4);
+  DatabaseState state = MakeState(scheme, bench.range(0));
+  auto m = CtmMaintainer::Create(std::move(state), /*verify=*/false);
+  IRD_CHECK(m.ok());
+  auto stream = MakeInsertStream(scheme, m->state(), kStreamLength,
+                                 kConflictRate, 42);
+  size_t i = 0;
+  size_t probes = 0;
+  for (auto _ : bench) {
+    const InsertInstance& ins = stream[i++ % stream.size()];
+    ExtensionStats stats;
+    auto verdict = m->CheckInsert(ins.rel, ins.tuple, &stats);
+    benchmark::DoNotOptimize(verdict);
+    probes += stats.probes;
+  }
+  bench.counters["tuples"] = static_cast<double>(m->state().TupleCount());
+  bench.counters["probes/op"] =
+      static_cast<double>(probes) / static_cast<double>(bench.iterations());
+}
+BENCHMARK(BM_CtmCheckInsert_Chain)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+
+void BM_Alg2CheckInsert_Chain(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeChainScheme(4);
+  DatabaseState state = MakeState(scheme, bench.range(0));
+  auto m = KeyEquivalentMaintainer::Create(std::move(state));
+  IRD_CHECK(m.ok());
+  auto stream = MakeInsertStream(scheme, m->state(), kStreamLength,
+                                 kConflictRate, 42);
+  size_t i = 0;
+  size_t lookups = 0;
+  for (auto _ : bench) {
+    const InsertInstance& ins = stream[i++ % stream.size()];
+    MaintenanceStats stats;
+    auto verdict = m->CheckInsert(ins.rel, ins.tuple, &stats);
+    benchmark::DoNotOptimize(verdict);
+    lookups += stats.lookups;
+  }
+  bench.counters["tuples"] = static_cast<double>(m->state().TupleCount());
+  bench.counters["lookups/op"] =
+      static_cast<double>(lookups) / static_cast<double>(bench.iterations());
+}
+BENCHMARK(BM_Alg2CheckInsert_Chain)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+
+void BM_Alg2CheckInsert_Split(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeSplitScheme(3);
+  DatabaseState state = MakeState(scheme, bench.range(0));
+  auto m = KeyEquivalentMaintainer::Create(std::move(state));
+  IRD_CHECK(m.ok());
+  auto stream = MakeInsertStream(scheme, m->state(), kStreamLength,
+                                 kConflictRate, 42);
+  size_t i = 0;
+  for (auto _ : bench) {
+    const InsertInstance& ins = stream[i++ % stream.size()];
+    auto verdict = m->CheckInsert(ins.rel, ins.tuple);
+    benchmark::DoNotOptimize(verdict);
+  }
+  bench.counters["tuples"] = static_cast<double>(m->state().TupleCount());
+}
+BENCHMARK(BM_Alg2CheckInsert_Split)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+
+void BM_BlockMaintainerCheckInsert(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeBlockScheme(3, 3);
+  DatabaseState state = MakeState(scheme, bench.range(0));
+  auto m = IndependenceReducibleMaintainer::Create(std::move(state),
+                                                   /*verify=*/false);
+  IRD_CHECK(m.ok());
+  auto stream = MakeInsertStream(scheme, m->state(), kStreamLength,
+                                 kConflictRate, 42);
+  size_t i = 0;
+  for (auto _ : bench) {
+    const InsertInstance& ins = stream[i++ % stream.size()];
+    auto verdict = m->CheckInsert(ins.rel, ins.tuple);
+    benchmark::DoNotOptimize(verdict);
+  }
+  bench.counters["tuples"] = static_cast<double>(m->state().TupleCount());
+}
+BENCHMARK(BM_BlockMaintainerCheckInsert)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+
+void NaiveCheckInsert(benchmark::State& bench, DatabaseScheme scheme) {
+  DatabaseState state = MakeState(scheme, bench.range(0));
+  auto stream =
+      MakeInsertStream(scheme, state, kStreamLength, kConflictRate, 42);
+  size_t i = 0;
+  for (auto _ : bench) {
+    const InsertInstance& ins = stream[i++ % stream.size()];
+    bool verdict = WouldRemainConsistent(state, ins.rel, ins.tuple);
+    benchmark::DoNotOptimize(verdict);
+  }
+  bench.counters["tuples"] = static_cast<double>(state.TupleCount());
+}
+
+void BM_NaiveCheckInsert_Chain(benchmark::State& bench) {
+  NaiveCheckInsert(bench, MakeChainScheme(4));
+}
+BENCHMARK(BM_NaiveCheckInsert_Chain)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_NaiveCheckInsert_Split(benchmark::State& bench) {
+  NaiveCheckInsert(bench, MakeSplitScheme(3));
+}
+BENCHMARK(BM_NaiveCheckInsert_Split)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Amortized cost of *applied* inserts (index maintenance included): builds
+// the state through the maintainer itself.
+void BM_CtmApplyInsert(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeChainScheme(4);
+  DatabaseState empty(scheme);
+  auto m = CtmMaintainer::Create(std::move(empty));
+  IRD_CHECK(m.ok());
+  auto stream = MakeInsertStream(scheme, m->state(), 100000,
+                                 /*conflict_rate=*/0.0, 77);
+  size_t i = 0;
+  for (auto _ : bench) {
+    const InsertInstance& ins = stream[i++ % stream.size()];
+    benchmark::DoNotOptimize(m->Insert(ins.rel, ins.tuple));
+  }
+  bench.counters["final_tuples"] =
+      static_cast<double>(m->state().TupleCount());
+}
+BENCHMARK(BM_CtmApplyInsert)->Iterations(100000);
+
+}  // namespace
+}  // namespace ird
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Experiment E1 (EXPERIMENTS.md): recognition is polynomial (Corollary
+// 5.4). Algorithm 6 = KEP + induced-scheme independence test, timed against
+// the number of relation schemes for three families:
+//  - block schemes (accepted; many key-equivalent blocks),
+//  - independent snowflakes (accepted; all-singleton partition),
+//  - random schemes (mixed verdicts).
+
+#include <benchmark/benchmark.h>
+
+#include "core/recognition.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+void BM_Recognize_BlockScheme(benchmark::State& bench) {
+  size_t blocks = static_cast<size_t>(bench.range(0));
+  DatabaseScheme scheme = MakeBlockScheme(blocks, 3);
+  for (auto _ : bench) {
+    RecognitionResult r = RecognizeIndependenceReducible(scheme);
+    benchmark::DoNotOptimize(r);
+    IRD_CHECK(r.accepted);
+  }
+  bench.counters["relations"] = static_cast<double>(scheme.size());
+}
+BENCHMARK(BM_Recognize_BlockScheme)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(22);
+
+void BM_Recognize_IndependentScheme(benchmark::State& bench) {
+  DatabaseScheme scheme =
+      MakeIndependentScheme(static_cast<size_t>(bench.range(0)));
+  for (auto _ : bench) {
+    RecognitionResult r = RecognizeIndependenceReducible(scheme);
+    benchmark::DoNotOptimize(r);
+    IRD_CHECK(r.accepted);
+  }
+  bench.counters["relations"] = static_cast<double>(scheme.size());
+}
+BENCHMARK(BM_Recognize_IndependentScheme)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
+
+void BM_Recognize_RandomSchemes(benchmark::State& bench) {
+  // A fixed pool of random schemes of the requested size; cycle through.
+  size_t relations = static_cast<size_t>(bench.range(0));
+  std::vector<DatabaseScheme> pool;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    RandomSchemeOptions opt;
+    opt.universe_size = relations + 2;
+    opt.relations = relations;
+    opt.min_arity = 2;
+    opt.max_arity = 4;
+    opt.seed = seed;
+    pool.push_back(MakeRandomScheme(opt));
+  }
+  size_t i = 0;
+  size_t accepted = 0;
+  for (auto _ : bench) {
+    RecognitionResult r =
+        RecognizeIndependenceReducible(pool[i++ % pool.size()]);
+    benchmark::DoNotOptimize(r);
+    accepted += r.accepted ? 1 : 0;
+  }
+  bench.counters["accept_rate"] =
+      static_cast<double>(accepted) / static_cast<double>(bench.iterations());
+}
+BENCHMARK(BM_Recognize_RandomSchemes)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// The two recognition phases separately, to show where time goes.
+void BM_Kep_BlockScheme(benchmark::State& bench) {
+  DatabaseScheme scheme =
+      MakeBlockScheme(static_cast<size_t>(bench.range(0)), 3);
+  for (auto _ : bench) {
+    auto partition = KeyEquivalentPartition(scheme);
+    benchmark::DoNotOptimize(partition);
+  }
+}
+BENCHMARK(BM_Kep_BlockScheme)->Arg(2)->Arg(8)->Arg(22);
+
+void BM_IndependenceTest_Induced(benchmark::State& bench) {
+  DatabaseScheme scheme =
+      MakeBlockScheme(static_cast<size_t>(bench.range(0)), 3);
+  RecognitionResult r = RecognizeIndependenceReducible(scheme);
+  IRD_CHECK(r.accepted);
+  for (auto _ : bench) {
+    bool ok = IsIndependent(*r.induced);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_IndependenceTest_Induced)->Arg(2)->Arg(8)->Arg(22);
+
+}  // namespace
+}  // namespace ird
+
+BENCHMARK_MAIN();

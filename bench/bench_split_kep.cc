@@ -1,0 +1,70 @@
+// Experiment E4 (EXPERIMENTS.md): the structural analyses are cheap.
+//  - Lemma 3.8's split test (polynomial closure computations) vs the
+//    definitional search (exponential BFS over computation states).
+//  - KEP partition refinement scaling.
+
+#include <benchmark/benchmark.h>
+
+#include "core/kep.h"
+#include "core/split.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+void BM_SplitTest_Lemma38(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeSplitScheme(static_cast<size_t>(bench.range(0)));
+  for (auto _ : bench) {
+    std::vector<AttributeSet> split = SplitKeys(scheme);
+    benchmark::DoNotOptimize(split);
+    IRD_CHECK(split.size() == 1);
+  }
+  bench.counters["relations"] = static_cast<double>(scheme.size());
+}
+BENCHMARK(BM_SplitTest_Lemma38)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(12);
+
+void BM_SplitTest_Definitional(benchmark::State& bench) {
+  // The exponential reference implementation; only small sizes.
+  DatabaseScheme scheme = MakeSplitScheme(static_cast<size_t>(bench.range(0)));
+  const auto keys = scheme.AllKeys();
+  for (auto _ : bench) {
+    size_t split = 0;
+    for (const auto& [rel, key] : keys) {
+      split += IsKeySplitByDefinition(scheme, key) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(split);
+    IRD_CHECK(split == 1);
+  }
+  bench.counters["relations"] = static_cast<double>(scheme.size());
+}
+BENCHMARK(BM_SplitTest_Definitional)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_Kep_Partition(benchmark::State& bench) {
+  DatabaseScheme scheme =
+      MakeBlockScheme(static_cast<size_t>(bench.range(0)), 4);
+  for (auto _ : bench) {
+    auto partition = KeyEquivalentPartition(scheme);
+    benchmark::DoNotOptimize(partition);
+    IRD_CHECK(partition.size() == static_cast<size_t>(bench.range(0)));
+  }
+  bench.counters["relations"] = static_cast<double>(scheme.size());
+}
+BENCHMARK(BM_Kep_Partition)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Kep_SingletonHeavy(benchmark::State& bench) {
+  // Independent snowflakes: KEP degenerates to all-singleton blocks, the
+  // deepest recursion shape.
+  DatabaseScheme scheme =
+      MakeIndependentScheme(static_cast<size_t>(bench.range(0)));
+  for (auto _ : bench) {
+    auto partition = KeyEquivalentPartition(scheme);
+    benchmark::DoNotOptimize(partition);
+    IRD_CHECK(partition.size() == static_cast<size_t>(bench.range(0)));
+  }
+}
+BENCHMARK(BM_Kep_SingletonHeavy)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace ird
+
+BENCHMARK_MAIN();

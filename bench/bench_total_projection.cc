@@ -1,0 +1,125 @@
+// Experiment E3 (EXPERIMENTS.md): boundedness pays. Answering [X] through
+// the predetermined expression of Theorem 4.1 / Corollary 3.1(b) versus
+// re-chasing the whole state (the generic weak-instance method).
+//
+// Shape claim: the expression's construction cost is state-independent and
+// its evaluation is join-work proportional to the relevant data, while the
+// chase re-derives the entire representative instance every time.
+
+#include <benchmark/benchmark.h>
+
+#include "core/total_projection.h"
+#include "relation/weak_instance.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+DatabaseState MakeState(const DatabaseScheme& scheme, size_t entities) {
+  StateGenOptions opt;
+  opt.entities = entities;
+  opt.coverage = 0.7;
+  opt.seed = 5678;
+  return MakeConsistentState(scheme, opt);
+}
+
+// X spanning both ends of the Example-4-like split scheme: A and D.
+AttributeSet QueryTarget(const DatabaseScheme& scheme) {
+  AttributeSet x;
+  x.Add(scheme.universe().Find("A").value());
+  x.Add(scheme.universe().Find("D").value());
+  return x;
+}
+
+void BM_BoundedProjection_SplitScheme(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeSplitScheme(3);
+  DatabaseState state = MakeState(scheme, bench.range(0));
+  RecognitionResult r = RecognizeIndependenceReducible(scheme);
+  IRD_CHECK(r.accepted);
+  AttributeSet x = QueryTarget(scheme);
+  ExprPtr expr = BuildBoundedProjectionExpr(scheme, r, x);
+  IRD_CHECK(expr != nullptr);
+  for (auto _ : bench) {
+    PartialRelation answer = Evaluate(*expr, state);
+    benchmark::DoNotOptimize(answer);
+  }
+  bench.counters["tuples"] = static_cast<double>(state.TupleCount());
+  bench.counters["expr_nodes"] = static_cast<double>(expr->NodeCount());
+}
+BENCHMARK(BM_BoundedProjection_SplitScheme)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000);
+
+void BM_ChaseProjection_SplitScheme(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeSplitScheme(3);
+  DatabaseState state = MakeState(scheme, bench.range(0));
+  AttributeSet x = QueryTarget(scheme);
+  for (auto _ : bench) {
+    Result<PartialRelation> answer = TotalProjectionByChase(state, x);
+    benchmark::DoNotOptimize(answer);
+    IRD_CHECK(answer.ok());
+  }
+  bench.counters["tuples"] = static_cast<double>(state.TupleCount());
+}
+BENCHMARK(BM_ChaseProjection_SplitScheme)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Cross-block query on the multi-block family (Theorem 4.1's two-level
+// expression).
+void BM_BoundedProjection_BlockScheme(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeBlockScheme(3, 3);
+  DatabaseState state = MakeState(scheme, bench.range(0));
+  RecognitionResult r = RecognizeIndependenceReducible(scheme);
+  IRD_CHECK(r.accepted);
+  // First attribute of block 1 and last of block 3.
+  AttributeSet x;
+  x.Add(scheme.universe().Find("X1_1").value());
+  x.Add(scheme.universe().Find("X3_3").value());
+  ExprPtr expr = BuildBoundedProjectionExpr(scheme, r, x);
+  IRD_CHECK(expr != nullptr);
+  for (auto _ : bench) {
+    PartialRelation answer = Evaluate(*expr, state);
+    benchmark::DoNotOptimize(answer);
+  }
+  bench.counters["tuples"] = static_cast<double>(state.TupleCount());
+  bench.counters["expr_nodes"] = static_cast<double>(expr->NodeCount());
+}
+BENCHMARK(BM_BoundedProjection_BlockScheme)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ChaseProjection_BlockScheme(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeBlockScheme(3, 3);
+  DatabaseState state = MakeState(scheme, bench.range(0));
+  AttributeSet x;
+  x.Add(scheme.universe().Find("X1_1").value());
+  x.Add(scheme.universe().Find("X3_3").value());
+  for (auto _ : bench) {
+    Result<PartialRelation> answer = TotalProjectionByChase(state, x);
+    benchmark::DoNotOptimize(answer);
+  }
+  bench.counters["tuples"] = static_cast<double>(state.TupleCount());
+}
+BENCHMARK(BM_ChaseProjection_BlockScheme)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Expression construction alone: state-size independent by definition;
+// reported against the scheme size to show it is cheap and predetermined.
+void BM_BuildExpression(benchmark::State& bench) {
+  DatabaseScheme scheme =
+      MakeBlockScheme(static_cast<size_t>(bench.range(0)), 3);
+  RecognitionResult r = RecognizeIndependenceReducible(scheme);
+  IRD_CHECK(r.accepted);
+  AttributeSet x;
+  x.Add(scheme.universe().Find("X1_1").value());
+  x.Add(scheme.universe()
+            .Find("X" + std::to_string(bench.range(0)) + "_3")
+            .value());
+  for (auto _ : bench) {
+    ExprPtr expr = BuildBoundedProjectionExpr(scheme, r, x);
+    benchmark::DoNotOptimize(expr);
+  }
+}
+BENCHMARK(BM_BuildExpression)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace ird
+
+BENCHMARK_MAIN();

@@ -1,0 +1,191 @@
+#include "algebra/expression.h"
+
+#include <unordered_map>
+
+namespace ird {
+
+ExprPtr Expression::Base(size_t relation_index, AttributeSet relation_attrs) {
+  auto e = std::make_shared<Expression>(Expression());
+  e->kind_ = Kind::kBase;
+  e->relation_index_ = relation_index;
+  e->output_attrs_ = std::move(relation_attrs);
+  return e;
+}
+
+ExprPtr Expression::Project(AttributeSet attrs, ExprPtr child) {
+  IRD_CHECK(child != nullptr);
+  IRD_CHECK_MSG(attrs.IsSubsetOf(child->output_attrs()),
+                "projection attributes must come from the child");
+  auto e = std::make_shared<Expression>(Expression());
+  e->kind_ = Kind::kProject;
+  e->output_attrs_ = std::move(attrs);
+  e->children_.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr Expression::Join(std::vector<ExprPtr> children) {
+  IRD_CHECK_MSG(!children.empty(), "join of zero expressions");
+  if (children.size() == 1) return children[0];
+  auto e = std::make_shared<Expression>(Expression());
+  e->kind_ = Kind::kJoin;
+  for (const ExprPtr& c : children) {
+    IRD_CHECK(c != nullptr);
+    e->output_attrs_.UnionWith(c->output_attrs());
+  }
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expression::Select(std::vector<EqualityAtom> formula, ExprPtr child) {
+  IRD_CHECK(child != nullptr);
+  for (const EqualityAtom& atom : formula) {
+    IRD_CHECK_MSG(child->output_attrs().Contains(atom.attr),
+                  "selection attribute must come from the child");
+  }
+  auto e = std::make_shared<Expression>(Expression());
+  e->kind_ = Kind::kSelect;
+  e->output_attrs_ = child->output_attrs();
+  e->children_.push_back(std::move(child));
+  e->formula_ = std::move(formula);
+  return e;
+}
+
+ExprPtr Expression::Union(std::vector<ExprPtr> children) {
+  IRD_CHECK_MSG(!children.empty(), "union of zero expressions");
+  if (children.size() == 1) return children[0];
+  auto e = std::make_shared<Expression>(Expression());
+  e->kind_ = Kind::kUnion;
+  e->output_attrs_ = children[0]->output_attrs();
+  for (const ExprPtr& c : children) {
+    IRD_CHECK(c != nullptr);
+    IRD_CHECK_MSG(c->output_attrs() == e->output_attrs_,
+                  "union branches must have equal output attributes");
+  }
+  e->children_ = std::move(children);
+  return e;
+}
+
+size_t Expression::NodeCount() const {
+  size_t n = 1;
+  for (const ExprPtr& c : children_) {
+    n += c->NodeCount();
+  }
+  return n;
+}
+
+std::string Expression::ToString(const DatabaseScheme& scheme) const {
+  switch (kind_) {
+    case Kind::kBase:
+      return scheme.relation(relation_index_).name;
+    case Kind::kProject:
+      return "π[" + scheme.universe().Format(output_attrs_) + "](" +
+             children_[0]->ToString(scheme) + ")";
+    case Kind::kJoin: {
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += " ⋈ ";
+        out += children_[i]->ToString(scheme);
+      }
+      return out + ")";
+    }
+    case Kind::kSelect: {
+      std::string out = "σ[";
+      for (size_t i = 0; i < formula_.size(); ++i) {
+        if (i > 0) out += " ∧ ";
+        out += scheme.universe().Name(formula_[i].attr) + "=" +
+               std::to_string(formula_[i].value);
+      }
+      return out + "](" + children_[0]->ToString(scheme) + ")";
+    }
+    case Kind::kUnion: {
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += " ∪ ";
+        out += children_[i]->ToString(scheme);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+PartialRelation NaturalJoin(const PartialRelation& left,
+                            const PartialRelation& right) {
+  AttributeSet shared = left.attrs().Intersect(right.attrs());
+  PartialRelation out(left.attrs().Union(right.attrs()));
+  // Build on the smaller side, probe with the larger.
+  const PartialRelation& build = left.size() <= right.size() ? left : right;
+  const PartialRelation& probe = left.size() <= right.size() ? right : left;
+  std::unordered_map<size_t, std::vector<size_t>> index;
+  index.reserve(build.size());
+  for (size_t i = 0; i < build.size(); ++i) {
+    index[build.tuples()[i].Restrict(shared).Hash()].push_back(i);
+  }
+  for (const PartialTuple& p : probe.tuples()) {
+    size_t h = p.Restrict(shared).Hash();
+    auto it = index.find(h);
+    if (it == index.end()) continue;
+    for (size_t i : it->second) {
+      const PartialTuple& b = build.tuples()[i];
+      if (p.AgreesOn(b, shared)) {
+        std::optional<PartialTuple> joined = p.Join(b);
+        IRD_CHECK(joined.has_value());
+        out.Add(std::move(*joined));
+      }
+    }
+  }
+  return out;
+}
+
+PartialRelation Evaluate(const Expression& expr, const DatabaseState& state) {
+  switch (expr.kind()) {
+    case Expression::Kind::kBase: {
+      IRD_CHECK(expr.relation_index() < state.relation_count());
+      return state.relation(expr.relation_index());
+    }
+    case Expression::Kind::kProject: {
+      PartialRelation child = Evaluate(*expr.children()[0], state);
+      PartialRelation out(expr.output_attrs());
+      for (const PartialTuple& t : child.tuples()) {
+        out.AddUnique(t.Restrict(expr.output_attrs()));
+      }
+      return out;
+    }
+    case Expression::Kind::kJoin: {
+      PartialRelation acc = Evaluate(*expr.children()[0], state);
+      for (size_t i = 1; i < expr.children().size(); ++i) {
+        acc = NaturalJoin(acc, Evaluate(*expr.children()[i], state));
+      }
+      return acc;
+    }
+    case Expression::Kind::kSelect: {
+      PartialRelation child = Evaluate(*expr.children()[0], state);
+      PartialRelation out(expr.output_attrs());
+      for (const PartialTuple& t : child.tuples()) {
+        bool match = true;
+        for (const EqualityAtom& atom : expr.formula()) {
+          if (t.At(atom.attr) != atom.value) {
+            match = false;
+            break;
+          }
+        }
+        if (match) out.Add(t);
+      }
+      return out;
+    }
+    case Expression::Kind::kUnion: {
+      PartialRelation out(expr.output_attrs());
+      for (const ExprPtr& c : expr.children()) {
+        PartialRelation child = Evaluate(*c, state);
+        for (const PartialTuple& t : child.tuples()) {
+          out.AddUnique(t);
+        }
+      }
+      return out;
+    }
+  }
+  IRD_CHECK(false);
+  return PartialRelation();
+}
+
+}  // namespace ird

@@ -1,0 +1,51 @@
+// Extension joins and sequential joins (paper §2.6).
+//
+// An extension join extends the tuples of an expression E1 on R1 by the
+// attributes Y of a second expression E2 on R2, where Y ⊆ R2 - R1 and
+// R1 ∩ R2 -> Y ∈ F+: every E1-tuple picks up at most one extension, so the
+// join never multiplies tuples. A sequential join orders a subscheme
+// R_1, ..., R_m and joins left-to-right.
+
+#ifndef IRD_ALGEBRA_EXTENSION_JOIN_H_
+#define IRD_ALGEBRA_EXTENSION_JOIN_H_
+
+#include <optional>
+#include <vector>
+
+#include "algebra/expression.h"
+#include "fd/fd_set.h"
+#include "schema/database_scheme.h"
+
+namespace ird {
+
+// True iff the sequential join R_{order[0]} ⋈ ... ⋈ R_{order[m-1]} is a
+// sequence of extension joins wrt `fds`: at every step the attributes
+// gained are functionally determined by the overlap with the prefix.
+bool IsExtensionJoinSequence(const DatabaseScheme& scheme,
+                             const std::vector<size_t>& order,
+                             const FdSet& fds);
+
+// Searches for an ordering of `subset` that forms a sequential extension
+// join wrt `fds`. Returns nullopt if none exists. Greedy with backtracking;
+// |subset| is expected to be small (it indexes relation schemes).
+std::optional<std::vector<size_t>> FindExtensionJoinOrder(
+    const DatabaseScheme& scheme, const std::vector<size_t>& subset,
+    const FdSet& fds);
+
+// The left-deep sequential join expression for `order`.
+ExprPtr SequentialJoinExpr(const DatabaseScheme& scheme,
+                           const std::vector<size_t>& order);
+
+// True iff `subset` can be bracketed into a (possibly bushy) tree of
+// extension joins per the recursive §2.6 definition — E1 and E2 may
+// themselves be extension joins, as in Example 4's AB ⋈ AC ⋈ (BE ⋈ CE).
+// At each internal node the right side's new attributes must be determined
+// by the overlap: attrs(E1) ∩ attrs(E2) -> attrs(E2) - attrs(E1) ∈ F+.
+// Exponential in |subset| (3^n submask scan); guarded at 16.
+bool AdmitsExtensionJoinTree(const DatabaseScheme& scheme,
+                             const std::vector<size_t>& subset,
+                             const FdSet& fds);
+
+}  // namespace ird
+
+#endif  // IRD_ALGEBRA_EXTENSION_JOIN_H_

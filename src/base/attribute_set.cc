@@ -1,0 +1,186 @@
+#include "base/attribute_set.h"
+
+#include <algorithm>
+
+namespace ird {
+
+AttributeSet AttributeSet::AllUpTo(AttributeId n) {
+  AttributeSet s;
+  if (n == 0) return s;
+  s.words_.assign((n + 63) / 64, ~uint64_t{0});
+  int spare = static_cast<int>(s.words_.size() * 64 - n);
+  if (spare > 0) {
+    s.words_.back() >>= spare;
+  }
+  s.Normalize();
+  return s;
+}
+
+void AttributeSet::Add(AttributeId id) {
+  size_t w = id / 64;
+  if (w >= words_.size()) {
+    words_.resize(w + 1, 0);
+  }
+  words_[w] |= uint64_t{1} << (id % 64);
+}
+
+void AttributeSet::Remove(AttributeId id) {
+  size_t w = id / 64;
+  if (w >= words_.size()) return;
+  words_[w] &= ~(uint64_t{1} << (id % 64));
+  Normalize();
+}
+
+bool AttributeSet::Contains(AttributeId id) const {
+  size_t w = id / 64;
+  if (w >= words_.size()) return false;
+  return (words_[w] >> (id % 64)) & 1;
+}
+
+AttributeSet& AttributeSet::UnionWith(const AttributeSet& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+  return *this;
+}
+
+AttributeSet& AttributeSet::IntersectWith(const AttributeSet& other) {
+  if (words_.size() > other.words_.size()) {
+    words_.resize(other.words_.size());
+  }
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+  Normalize();
+  return *this;
+}
+
+AttributeSet& AttributeSet::SubtractAll(const AttributeSet& other) {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+  Normalize();
+  return *this;
+}
+
+AttributeSet AttributeSet::Union(const AttributeSet& other) const {
+  AttributeSet out = *this;
+  out.UnionWith(other);
+  return out;
+}
+
+AttributeSet AttributeSet::Intersect(const AttributeSet& other) const {
+  AttributeSet out = *this;
+  out.IntersectWith(other);
+  return out;
+}
+
+AttributeSet AttributeSet::Minus(const AttributeSet& other) const {
+  AttributeSet out = *this;
+  out.SubtractAll(other);
+  return out;
+}
+
+bool AttributeSet::IsSubsetOf(const AttributeSet& other) const {
+  if (words_.size() > other.words_.size()) return false;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool AttributeSet::IsProperSubsetOf(const AttributeSet& other) const {
+  return IsSubsetOf(other) && *this != other;
+}
+
+bool AttributeSet::Intersects(const AttributeSet& other) const {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+size_t AttributeSet::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) {
+    total += static_cast<size_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+
+AttributeId AttributeSet::First() const {
+  IRD_CHECK_MSG(!Empty(), "First() on empty AttributeSet");
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<AttributeId>(w * 64 + __builtin_ctzll(words_[w]));
+    }
+  }
+  IRD_CHECK(false);
+  return 0;
+}
+
+size_t AttributeSet::Rank(AttributeId id) const {
+  size_t w = id / 64;
+  size_t rank = 0;
+  for (size_t i = 0; i < w && i < words_.size(); ++i) {
+    rank += static_cast<size_t>(__builtin_popcountll(words_[i]));
+  }
+  if (w < words_.size()) {
+    uint64_t below = words_[w] & ((uint64_t{1} << (id % 64)) - 1);
+    rank += static_cast<size_t>(__builtin_popcountll(below));
+  }
+  return rank;
+}
+
+std::vector<AttributeId> AttributeSet::ToVector() const {
+  std::vector<AttributeId> out;
+  out.reserve(Count());
+  ForEach([&out](AttributeId id) { out.push_back(id); });
+  return out;
+}
+
+bool AttributeSet::operator<(const AttributeSet& other) const {
+  // Compare from the most significant end so the order refines "size of the
+  // largest element", giving a stable, intuitive enumeration order.
+  if (words_.size() != other.words_.size()) {
+    return words_.size() < other.words_.size();
+  }
+  for (size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != other.words_[i]) return words_[i] < other.words_[i];
+  }
+  return false;
+}
+
+size_t AttributeSet::Hash() const {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return static_cast<size_t>(h);
+}
+
+std::string AttributeSet::DebugString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](AttributeId id) {
+    if (!first) out += ",";
+    out += std::to_string(id);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+void AttributeSet::Normalize() {
+  while (!words_.empty() && words_.back() == 0) {
+    words_.pop_back();
+  }
+}
+
+}  // namespace ird

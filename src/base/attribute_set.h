@@ -1,0 +1,124 @@
+// AttributeSet: a set of attributes of the universe U, stored as a dynamic
+// bitset. This is the workhorse value type of the whole library — schemes,
+// FD sides, closures and keys are all AttributeSets.
+//
+// Sets self-size: operations between sets of different logical capacity are
+// well-defined (missing high words are treated as zero), so callers never
+// plumb the universe size around. Trailing zero words are normalized away,
+// which makes equality and hashing structural.
+
+#ifndef IRD_BASE_ATTRIBUTE_SET_H_
+#define IRD_BASE_ATTRIBUTE_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace ird {
+
+// Index of an attribute within a Universe.
+using AttributeId = uint32_t;
+
+class AttributeSet {
+ public:
+  // The empty set.
+  AttributeSet() = default;
+  // The set {ids...}.
+  AttributeSet(std::initializer_list<AttributeId> ids) {
+    for (AttributeId id : ids) Add(id);
+  }
+
+  AttributeSet(const AttributeSet&) = default;
+  AttributeSet& operator=(const AttributeSet&) = default;
+  AttributeSet(AttributeSet&&) = default;
+  AttributeSet& operator=(AttributeSet&&) = default;
+
+  // The set {0, 1, ..., n-1}; with a Universe this is "all of U".
+  static AttributeSet AllUpTo(AttributeId n);
+
+  // Element operations.
+  void Add(AttributeId id);
+  void Remove(AttributeId id);
+  bool Contains(AttributeId id) const;
+
+  // Set algebra (in place). Return *this to allow chaining.
+  AttributeSet& UnionWith(const AttributeSet& other);
+  AttributeSet& IntersectWith(const AttributeSet& other);
+  AttributeSet& SubtractAll(const AttributeSet& other);
+
+  // Set algebra (value-returning).
+  AttributeSet Union(const AttributeSet& other) const;
+  AttributeSet Intersect(const AttributeSet& other) const;
+  AttributeSet Minus(const AttributeSet& other) const;
+
+  // Predicates.
+  bool Empty() const { return words_.empty(); }
+  bool IsSubsetOf(const AttributeSet& other) const;
+  bool IsProperSubsetOf(const AttributeSet& other) const;
+  bool IsSupersetOf(const AttributeSet& other) const {
+    return other.IsSubsetOf(*this);
+  }
+  bool Intersects(const AttributeSet& other) const;
+  // Neither a subset nor a superset of `other` (the paper's "incomparable").
+  bool IsIncomparableWith(const AttributeSet& other) const {
+    return !IsSubsetOf(other) && !other.IsSubsetOf(*this);
+  }
+
+  // Number of attributes in the set.
+  size_t Count() const;
+
+  // Smallest element; the set must be nonempty.
+  AttributeId First() const;
+
+  // Number of elements strictly smaller than id (the position id would have
+  // in ToVector()). id need not be a member.
+  size_t Rank(AttributeId id) const;
+
+  // All elements in increasing order.
+  std::vector<AttributeId> ToVector() const;
+
+  // Calls `fn(AttributeId)` for each element in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(static_cast<AttributeId>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  bool operator==(const AttributeSet& other) const {
+    return words_ == other.words_;
+  }
+  bool operator!=(const AttributeSet& other) const {
+    return !(*this == other);
+  }
+  // Lexicographic-by-word total order, usable for std::map / sorting.
+  bool operator<(const AttributeSet& other) const;
+
+  // FNV-1a style hash for unordered containers.
+  size_t Hash() const;
+
+  // Debug form "{0,3,7}".
+  std::string DebugString() const;
+
+ private:
+  void Normalize();  // drops trailing zero words
+
+  std::vector<uint64_t> words_;
+};
+
+// std::hash adapter.
+struct AttributeSetHash {
+  size_t operator()(const AttributeSet& s) const { return s.Hash(); }
+};
+
+}  // namespace ird
+
+#endif  // IRD_BASE_ATTRIBUTE_SET_H_

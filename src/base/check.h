@@ -1,0 +1,53 @@
+// Lightweight assertion macros for programming errors.
+//
+// The library does not use exceptions (see DESIGN.md). IRD_CHECK aborts the
+// process with a diagnostic when an internal invariant is violated; it is for
+// bugs, never for data-dependent failures (those return ird::Status).
+
+#ifndef IRD_BASE_CHECK_H_
+#define IRD_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ird::internal {
+
+// Prints a diagnostic and aborts. Marked noinline/cold so the fast path of
+// IRD_CHECK stays a single predictable branch.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const char* message) {
+  std::fprintf(stderr, "IRD_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message[0] != '\0' ? " — " : "", message);
+  std::abort();
+}
+
+}  // namespace ird::internal
+
+// Aborts when `condition` is false. Enabled in all build modes: the library's
+// algorithms are cheap relative to the cost of silently corrupt chases.
+#define IRD_CHECK(condition)                                             \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      ::ird::internal::CheckFailed(__FILE__, __LINE__, #condition, ""); \
+    }                                                                    \
+  } while (false)
+
+// Like IRD_CHECK with an explanatory string literal.
+#define IRD_CHECK_MSG(condition, message)                                     \
+  do {                                                                        \
+    if (!(condition)) {                                                       \
+      ::ird::internal::CheckFailed(__FILE__, __LINE__, #condition, message); \
+    }                                                                         \
+  } while (false)
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define IRD_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define IRD_DCHECK(condition) IRD_CHECK(condition)
+#endif
+
+#endif  // IRD_BASE_CHECK_H_

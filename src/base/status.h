@@ -1,0 +1,137 @@
+// Error propagation without exceptions: Status and Result<T>.
+//
+// Data-dependent failures (inconsistent states, malformed input, invalid
+// scheme declarations) travel as ird::Status. Programming errors use
+// IRD_CHECK. The design mirrors absl::Status in miniature.
+
+#ifndef IRD_BASE_STATUS_H_
+#define IRD_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "base/check.h"
+
+namespace ird {
+
+// Failure categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  // A caller supplied a structurally invalid argument (e.g. an attribute
+  // outside the universe, a key not contained in its scheme).
+  kInvalidArgument,
+  // The operation's precondition on the database/scheme does not hold
+  // (e.g. maintenance called on a scheme that is not key-equivalent).
+  kFailedPrecondition,
+  // A database state has no weak instance: the chase found a contradiction.
+  kInconsistent,
+  // A requested entity does not exist.
+  kNotFound,
+  // Input text could not be parsed.
+  kParseError,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "INCONSISTENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-type status: either OK or a code plus message.
+class Status {
+ public:
+  // OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    IRD_CHECK_MSG(code != StatusCode::kOk,
+                  "use the default constructor for OK");
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status Inconsistent(std::string message) {
+  return Status(StatusCode::kInconsistent, std::move(message));
+}
+inline Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status ParseError(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
+}
+
+// Either a T or a non-OK Status. Access to value() checks ok().
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so functions can `return value;` / `return
+  // status;` — the same convenience absl::StatusOr provides.
+  Result(T value) : payload_(std::move(value)) {}
+  Result(Status status) : payload_(std::move(status)) {
+    IRD_CHECK_MSG(!std::get<Status>(payload_).ok(),
+                  "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    IRD_CHECK_MSG(ok(), "value() on failed Result");
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    IRD_CHECK_MSG(ok(), "value() on failed Result");
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    IRD_CHECK_MSG(ok(), "value() on failed Result");
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define IRD_RETURN_IF_ERROR(expr)        \
+  do {                                   \
+    ::ird::Status ird_status_ = (expr);  \
+    if (!ird_status_.ok()) {             \
+      return ird_status_;                \
+    }                                    \
+  } while (false)
+
+}  // namespace ird
+
+#endif  // IRD_BASE_STATUS_H_

@@ -1,0 +1,58 @@
+#include "base/universe.h"
+
+namespace ird {
+
+AttributeId Universe::Intern(std::string_view name) {
+  IRD_CHECK_MSG(!name.empty(), "attribute name must be nonempty");
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  AttributeId id = static_cast<AttributeId>(names_.size());
+  names_.emplace_back(name);
+  by_name_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<AttributeId> Universe::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return NotFound("unknown attribute '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+AttributeSet Universe::MakeSet(
+    std::initializer_list<std::string_view> names) {
+  AttributeSet set;
+  for (std::string_view n : names) {
+    set.Add(Intern(n));
+  }
+  return set;
+}
+
+AttributeSet Universe::Chars(std::string_view letters) {
+  AttributeSet set;
+  for (char c : letters) {
+    set.Add(Intern(std::string_view(&c, 1)));
+  }
+  return set;
+}
+
+std::string Universe::Format(const AttributeSet& set) const {
+  bool all_single = true;
+  set.ForEach([&](AttributeId id) {
+    if (Name(id).size() != 1) all_single = false;
+  });
+  std::string out;
+  bool first = true;
+  set.ForEach([&](AttributeId id) {
+    if (!all_single && !first) out += ",";
+    out += Name(id);
+    first = false;
+  });
+  if (out.empty()) out = "∅";
+  return out;
+}
+
+}  // namespace ird

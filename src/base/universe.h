@@ -1,0 +1,73 @@
+// Universe: the fixed, finite set of attributes U = {A1, ..., An} (paper
+// §2.1), kept as a bidirectional name <-> AttributeId registry.
+//
+// A Universe is created once per database scheme and then shared (by
+// reference) with everything defined over it. AttributeIds are dense and
+// assigned in registration order, so AttributeSet bitsets stay compact.
+
+#ifndef IRD_BASE_UNIVERSE_H_
+#define IRD_BASE_UNIVERSE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/attribute_set.h"
+#include "base/status.h"
+
+namespace ird {
+
+class Universe {
+ public:
+  Universe() = default;
+
+  // Universes are identity objects (schemes hold pointers to them).
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+
+  // Returns the id of `name`, registering it if new.
+  AttributeId Intern(std::string_view name);
+
+  // Returns the id of `name` or kNotFound if it was never registered.
+  Result<AttributeId> Find(std::string_view name) const;
+
+  // True if `name` is registered.
+  bool Has(std::string_view name) const {
+    return by_name_.find(std::string(name)) != by_name_.end();
+  }
+
+  // The name of `id`; id must be registered.
+  const std::string& Name(AttributeId id) const {
+    IRD_CHECK_MSG(id < names_.size(), "attribute id out of range");
+    return names_[id];
+  }
+
+  // Number of attributes in U.
+  size_t size() const { return names_.size(); }
+
+  // The set U itself.
+  AttributeSet All() const {
+    return AttributeSet::AllUpTo(static_cast<AttributeId>(names_.size()));
+  }
+
+  // Builds a set from names, interning as needed.
+  AttributeSet MakeSet(std::initializer_list<std::string_view> names);
+
+  // Builds a set from a string of single-character attribute names, e.g.
+  // "ABC" -> {A, B, C}. Convenient for paper examples where attributes are
+  // single letters.
+  AttributeSet Chars(std::string_view letters);
+
+  // Renders a set as concatenated names when all names are single
+  // characters ("ABC"), else comma-separated ("Hour,Room").
+  std::string Format(const AttributeSet& set) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttributeId> by_name_;
+};
+
+}  // namespace ird
+
+#endif  // IRD_BASE_UNIVERSE_H_

@@ -1,0 +1,90 @@
+#include "core/algorithm1_literal.h"
+
+#include "core/key_equivalence.h"
+#include "relation/weak_instance.h"
+#include "tableau/chase.h"
+
+namespace ird {
+
+Result<Tableau> RunAlgorithm1Literal(const DatabaseState& state,
+                                     Algorithm1Stats* stats) {
+  IRD_CHECK_MSG(IsKeyEquivalent(state.scheme()),
+                "Algorithm 1 requires a key-equivalent scheme");
+  Tableau t = StateTableau(state);
+  std::vector<std::pair<size_t, AttributeSet>> keys =
+      state.scheme().AllKeys();
+
+  // Step (1): fixpoint over pairs of rows agreeing on a key whose constant
+  // components differ as sets.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t u = 0; u < t.row_count() && !changed; ++u) {
+      AttributeSet cu = t.ConstantColumns(u);
+      for (size_t v = 0; v < t.row_count() && !changed; ++v) {
+        if (u == v) continue;
+        AttributeSet cv = t.ConstantColumns(v);
+        for (const auto& [rel, key] : keys) {
+          if (!key.IsSubsetOf(cu) || !key.IsSubsetOf(cv)) continue;
+          bool agree = true;
+          key.ForEach([&](AttributeId a) {
+            if (agree &&
+                t.ValueOf(t.Cell(u, a)) != t.ValueOf(t.Cell(v, a))) {
+              agree = false;
+            }
+          });
+          if (!agree) continue;
+          if (cu == cv) {
+            // The paper's loop skips identical constant sets (on its
+            // consistent-state precondition they must be duplicates);
+            // gracefully detect the inconsistent case instead.
+            bool identical = true;
+            cu.ForEach([&](AttributeId a) {
+              if (identical &&
+                  t.ValueOf(t.Cell(u, a)) != t.ValueOf(t.Cell(v, a))) {
+                identical = false;
+              }
+            });
+            if (!identical) {
+              return Inconsistent(
+                  "rows agreeing on a key clash on a constant");
+            }
+            continue;
+          }
+          // Case (1): Cv ⊆ Cu — equate v's components to u's constants.
+          // Case (2): incomparable — v picks up u's constants where u is
+          // constant. (Cu ⊆ Cv is case (1) with roles swapped; the outer
+          // loop visits that orientation too.)
+          if (!cu.IsSubsetOf(cv)) {
+            if (stats != nullptr) {
+              if (cv.IsSubsetOf(cu)) {
+                ++stats->case1;
+              } else {
+                ++stats->case2;
+              }
+            }
+            bool consistent = true;
+            cu.ForEach([&](AttributeId a) {
+              if (consistent && !t.Equate(t.Cell(v, a), t.Cell(u, a))) {
+                consistent = false;
+              }
+            });
+            if (!consistent) {
+              return Inconsistent(
+                  "rows agreeing on a key clash on a constant");
+            }
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Step (2): eliminate duplicate rows with identical constant components.
+  size_t removed = MinimizeByConstantSubsumption(&t);
+  if (stats != nullptr) stats->duplicates_removed = removed;
+  return t;
+}
+
+}  // namespace ird

@@ -1,0 +1,33 @@
+// Algorithm 1 transcribed literally onto a tableau (paper §3.1): while two
+// rows agree on a key but have different constant-component sets, copy
+// constants across (cases (1)/(2)); finally drop duplicate rows. The
+// production engine is core/representative_index.h (same semantics, hash
+// indexes, incremental); this transcription exists so tests can check the
+// two against each other and against the generic chase.
+
+#ifndef IRD_CORE_ALGORITHM1_LITERAL_H_
+#define IRD_CORE_ALGORITHM1_LITERAL_H_
+
+#include "base/status.h"
+#include "relation/database_state.h"
+#include "tableau/tableau.h"
+
+namespace ird {
+
+struct Algorithm1Stats {
+  size_t case1 = 0;  // comparable constant sets
+  size_t case2 = 0;  // incomparable constant sets
+  size_t duplicates_removed = 0;
+};
+
+// Runs Algorithm 1 on the state tableau of `state` (which must live on a
+// key-equivalent scheme). Returns the final tableau — the representative
+// instance — or kInconsistent when two rows agreeing on a key clash on a
+// constant (the state has no weak instance; Algorithm 1's precondition is
+// a consistent state, so this is the graceful extension).
+Result<Tableau> RunAlgorithm1Literal(const DatabaseState& state,
+                                     Algorithm1Stats* stats = nullptr);
+
+}  // namespace ird
+
+#endif  // IRD_CORE_ALGORITHM1_LITERAL_H_

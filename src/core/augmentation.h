@@ -1,0 +1,32 @@
+// Augmentation and reduction (paper §4.3): AUG adds subsets of existing
+// relation schemes, RED removes relation schemes properly contained in
+// others. Theorem 4.3: the class of independence-reducible schemes is
+// closed under augmentation; Corollary 4.2: R is independence-reducible iff
+// RED(R) is. These operations let a designer add "view-like" sub-relations
+// without losing the class's guarantees.
+
+#ifndef IRD_CORE_AUGMENTATION_H_
+#define IRD_CORE_AUGMENTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/database_scheme.h"
+
+namespace ird {
+
+// R ∪ {S}: adds a relation scheme over `attrs`, a nonempty subset of some
+// existing relation scheme. Keys of the new scheme: the keys of existing
+// relations embedded in `attrs` if any (Theorem 4.3 Case 2 — they are all
+// equivalent there), else `attrs` itself (Case 1: S embeds no key, so S's
+// only key dependency is trivial).
+Status Augment(DatabaseScheme* scheme, std::string name,
+               const AttributeSet& attrs);
+
+// RED(R): drops every relation scheme properly contained in another (and
+// duplicates beyond the first). Returns the reduction as a new scheme.
+DatabaseScheme Reduce(const DatabaseScheme& scheme);
+
+}  // namespace ird
+
+#endif  // IRD_CORE_AUGMENTATION_H_

@@ -1,0 +1,81 @@
+#include "core/block_maintainer.h"
+
+#include "core/split.h"
+
+namespace ird {
+
+Result<IndependenceReducibleMaintainer> IndependenceReducibleMaintainer::Create(
+    DatabaseState state, bool verify_consistency) {
+  RecognitionResult recognition =
+      RecognizeIndependenceReducible(state.scheme());
+  if (!recognition.accepted) {
+    return FailedPrecondition(
+        "scheme is not independence-reducible: " +
+        recognition.violation->ToString(*recognition.induced));
+  }
+  IndependenceReducibleMaintainer m;
+  m.recognition_ = std::move(recognition);
+  m.rel_to_block_.assign(state.scheme().size(), 0);
+  for (size_t b = 0; b < m.recognition_.partition.size(); ++b) {
+    Block block;
+    block.pool = m.recognition_.partition[b];
+    for (size_t rel : block.pool) {
+      m.rel_to_block_[rel] = b;
+    }
+    block.split_free = IsSplitFree(state.scheme(), block.pool);
+    if (!block.split_free) m.all_blocks_split_free_ = false;
+    if (block.split_free) {
+      // Algorithm 5 machinery; consistency of the block substate is
+      // verified separately below if requested.
+      Result<StateKeyIndex> idx = StateKeyIndex::Build(state, block.pool);
+      if (!idx.ok()) return idx.status();
+      block.key_index = std::move(idx).value();
+      if (verify_consistency) {
+        Result<RepresentativeIndex> rep =
+            RepresentativeIndex::Build(state, block.pool);
+        if (!rep.ok()) return rep.status();
+      }
+    } else {
+      // Algorithm 2 machinery: the block representative instance. Building
+      // it chases the block substate, which is also the consistency check.
+      Result<RepresentativeIndex> rep =
+          RepresentativeIndex::Build(state, block.pool);
+      if (!rep.ok()) return rep.status();
+      block.rep_index = std::move(rep).value();
+    }
+    m.blocks_.push_back(std::move(block));
+  }
+  m.state_ = std::move(state);
+  return m;
+}
+
+Result<PartialTuple> IndependenceReducibleMaintainer::CheckInsert(
+    size_t rel, const PartialTuple& tuple, MaintenanceStats* stats) const {
+  IRD_CHECK(rel < state_.scheme().size());
+  const Block& block = blocks_[rel_to_block_[rel]];
+  if (block.split_free) {
+    ExtensionStats ext_stats;
+    Result<PartialTuple> q = CheckInsertCtm(
+        state_.scheme(), *block.key_index, rel, tuple, &ext_stats);
+    if (stats != nullptr) {
+      stats->lookups += ext_stats.probes;
+    }
+    return q;
+  }
+  return CheckInsertKeyEquivalent(state_.scheme(), block.pool,
+                                  *block.rep_index, rel, tuple, stats);
+}
+
+Status IndependenceReducibleMaintainer::Insert(size_t rel,
+                                               const PartialTuple& tuple) {
+  Result<PartialTuple> q = CheckInsert(rel, tuple);
+  if (!q.ok()) return q.status();
+  state_.mutable_relation(rel).AddUnique(tuple);
+  Block& block = blocks_[rel_to_block_[rel]];
+  if (block.split_free) {
+    return block.key_index->AddTuple(rel, tuple);
+  }
+  return block.rep_index->InsertTuple(rel, tuple);
+}
+
+}  // namespace ird

@@ -1,0 +1,66 @@
+// Constraint enforcement for independence-reducible schemes (paper §4.2):
+// an insert into relation Rm only needs to be validated against Rm's block
+// of the independence-reducible partition — block-local consistency of all
+// blocks implies global consistency because the induced scheme D is
+// independent. Split-free blocks get the constant-time Algorithm 5; split
+// blocks get the algebraic Algorithm 2 (Theorem 4.2, Theorem 5.5).
+
+#ifndef IRD_CORE_BLOCK_MAINTAINER_H_
+#define IRD_CORE_BLOCK_MAINTAINER_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/ctm_maintainer.h"
+#include "core/key_equivalent_maintainer.h"
+#include "core/recognition.h"
+#include "core/state_key_index.h"
+#include "relation/database_state.h"
+
+namespace ird {
+
+class IndependenceReducibleMaintainer {
+ public:
+  // `state` must live on an independence-reducible scheme (recognition runs
+  // inside) and be consistent. With `verify_consistency`, the initial state
+  // is chased once per block (Algorithm 1); pass false for states known
+  // consistent.
+  static Result<IndependenceReducibleMaintainer> Create(
+      DatabaseState state, bool verify_consistency = true);
+
+  // Validates the insert against the relation's block only. Returns the
+  // block-extended tuple q on yes, kInconsistent on no.
+  Result<PartialTuple> CheckInsert(size_t rel, const PartialTuple& tuple,
+                                   MaintenanceStats* stats = nullptr) const;
+
+  // CheckInsert + apply.
+  Status Insert(size_t rel, const PartialTuple& tuple);
+
+  const DatabaseState& state() const { return state_; }
+  const RecognitionResult& recognition() const { return recognition_; }
+
+  // Theorem 5.5: the scheme is ctm iff every block is split-free.
+  bool IsCtm() const { return all_blocks_split_free_; }
+
+ private:
+  struct Block {
+    std::vector<size_t> pool;
+    bool split_free = false;
+    // Split-free blocks: raw-state key indexes driving Algorithm 5.
+    std::optional<StateKeyIndex> key_index;
+    // Split blocks: block representative instance driving Algorithm 2.
+    std::optional<RepresentativeIndex> rep_index;
+  };
+
+  IndependenceReducibleMaintainer() = default;
+
+  DatabaseState state_{DatabaseScheme::Create()};
+  RecognitionResult recognition_;
+  std::vector<Block> blocks_;
+  std::vector<size_t> rel_to_block_;
+  bool all_blocks_split_free_ = true;
+};
+
+}  // namespace ird
+
+#endif  // IRD_CORE_BLOCK_MAINTAINER_H_

@@ -1,0 +1,80 @@
+#include "core/classify.h"
+
+#include "core/independence.h"
+#include "core/key_equivalence.h"
+#include "core/split.h"
+#include "hypergraph/gamma_cycle.h"
+#include "hypergraph/hypergraph.h"
+
+namespace ird {
+
+SchemeClassification ClassifyScheme(const DatabaseScheme& scheme,
+                                    bool test_acyclicity) {
+  SchemeClassification c;
+  c.valid = scheme.Validate();
+  c.bcnf = scheme.IsBcnf();
+  c.lossless = scheme.IsLossless();
+  c.independent = IsIndependent(scheme);
+  c.key_equivalent = IsKeyEquivalent(scheme);
+  if (test_acyclicity) {
+    Hypergraph h = Hypergraph::Of(scheme);
+    // The γ-cycle search scales to more edges than the u.m.c. form (whose
+    // Bachman closure can outgrow its guard); the two recognizers are
+    // cross-validated in gamma_cycle_test.
+    c.gamma_acyclic = !FindGammaCycle(h).has_value();
+    c.alpha_acyclic = IsAlphaAcyclic(h);
+  }
+  c.recognition = RecognizeIndependenceReducible(scheme);
+  c.independence_reducible = c.recognition.accepted;
+  if (c.independence_reducible) {
+    c.split_free = true;
+    for (const std::vector<size_t>& block : c.recognition.partition) {
+      bool sf = IsSplitFree(scheme, block);
+      c.block_split_free.push_back(sf);
+      if (!sf) c.split_free = false;
+    }
+    c.bounded = true;                 // Theorem 4.1
+    c.algebraic_maintainable = true;  // Theorem 4.2
+    c.ctm = c.split_free;             // Theorem 5.5
+  }
+  return c;
+}
+
+std::string SchemeClassification::ToString(
+    const DatabaseScheme& scheme) const {
+  auto yn = [](bool b) { return b ? "yes" : "no"; };
+  std::string out;
+  out += "valid scheme:             " + valid.ToString() + "\n";
+  out += std::string("BCNF:                     ") + yn(bcnf) + "\n";
+  out += std::string("lossless:                 ") + yn(lossless) + "\n";
+  out += std::string("independent (Sagiv):      ") + yn(independent) + "\n";
+  out += std::string("key-equivalent:           ") + yn(key_equivalent) + "\n";
+  out += std::string("gamma-acyclic:            ") + yn(gamma_acyclic) + "\n";
+  out += std::string("alpha-acyclic:            ") + yn(alpha_acyclic) + "\n";
+  out += std::string("independence-reducible:   ") +
+         yn(independence_reducible) + "\n";
+  if (independence_reducible) {
+    out += "partition:                ";
+    for (size_t b = 0; b < recognition.partition.size(); ++b) {
+      if (b > 0) out += " | ";
+      out += "{";
+      for (size_t k = 0; k < recognition.partition[b].size(); ++k) {
+        if (k > 0) out += ",";
+        out += scheme.relation(recognition.partition[b][k]).name;
+      }
+      out += "}";
+      out += block_split_free[b] ? "" : "*";
+    }
+    out += "   (* = split block)\n";
+  } else if (recognition.violation.has_value()) {
+    out += "rejection witness:        " +
+           recognition.violation->ToString(*recognition.induced) + "\n";
+  }
+  out += std::string("bounded:                  ") + yn(bounded) + "\n";
+  out += std::string("algebraic-maintainable:   ") +
+         yn(algebraic_maintainable) + "\n";
+  out += std::string("constant-time-maintain.:  ") + yn(ctm) + "\n";
+  return out;
+}
+
+}  // namespace ird

@@ -1,0 +1,45 @@
+// One-stop classification of a database scheme against every class the
+// paper discusses — the "scheme designer report" exposed by examples and
+// the class-census experiment (E5).
+
+#ifndef IRD_CORE_CLASSIFY_H_
+#define IRD_CORE_CLASSIFY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/recognition.h"
+#include "schema/database_scheme.h"
+
+namespace ird {
+
+struct SchemeClassification {
+  Status valid;  // DatabaseScheme::Validate
+  bool bcnf = false;
+  bool lossless = false;
+  bool independent = false;           // uniqueness condition
+  bool key_equivalent = false;        // §3
+  bool gamma_acyclic = false;         // §2.4 / [F3] (γ-cycle search)
+  bool alpha_acyclic = false;         // GYO baseline
+  RecognitionResult recognition;      // Algorithm 6
+  // Per accepted block: is it split-free? (empty when rejected)
+  std::vector<bool> block_split_free;
+  bool independence_reducible = false;
+  bool split_free = false;  // all blocks split-free
+  // Derived verdicts (Theorems 4.1, 4.2, 5.5):
+  bool bounded = false;                  // accepted ⇒ bounded
+  bool algebraic_maintainable = false;   // accepted ⇒ algebraic-maintainable
+  bool ctm = false;                      // accepted ∧ split-free ⇔ ctm
+
+  std::string ToString(const DatabaseScheme& scheme) const;
+};
+
+// Runs every test. `test_acyclicity` can be disabled for schemes too large
+// for the exact γ-acyclicity search.
+SchemeClassification ClassifyScheme(const DatabaseScheme& scheme,
+                                    bool test_acyclicity = true);
+
+}  // namespace ird
+
+#endif  // IRD_CORE_CLASSIFY_H_

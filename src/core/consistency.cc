@@ -1,0 +1,34 @@
+#include "core/consistency.h"
+
+#include "core/representative_index.h"
+
+namespace ird {
+
+Status CheckConsistencyByBlocks(const DatabaseState& state,
+                                const RecognitionResult& recognition) {
+  IRD_CHECK_MSG(recognition.accepted,
+                "block consistency checking requires an accepted scheme");
+  for (size_t b = 0; b < recognition.partition.size(); ++b) {
+    Result<RepresentativeIndex> block =
+        RepresentativeIndex::Build(state, recognition.partition[b]);
+    if (!block.ok()) {
+      return Inconsistent("block " + std::to_string(b + 1) +
+                          " has no weak instance: " +
+                          block.status().message());
+    }
+  }
+  return OkStatus();
+}
+
+Status CheckConsistencyByBlocks(const DatabaseState& state) {
+  RecognitionResult recognition =
+      RecognizeIndependenceReducible(state.scheme());
+  if (!recognition.accepted) {
+    return FailedPrecondition(
+        "scheme is not independence-reducible: " +
+        recognition.violation->ToString(*recognition.induced));
+  }
+  return CheckConsistencyByBlocks(state, recognition);
+}
+
+}  // namespace ird

@@ -1,0 +1,29 @@
+// Whole-state consistency checking for independence-reducible schemes via
+// the §4.2 decomposition: the state is consistent iff every partition
+// block's substate is (independence of the induced scheme lifts block-local
+// consistency to global consistency). Each block check is one Algorithm 1
+// run — typically far cheaper than chasing the whole state tableau, and
+// embarrassingly block-parallel.
+
+#ifndef IRD_CORE_CONSISTENCY_H_
+#define IRD_CORE_CONSISTENCY_H_
+
+#include "base/status.h"
+#include "core/recognition.h"
+#include "relation/database_state.h"
+
+namespace ird {
+
+// OK iff `state` is consistent wrt its key dependencies. `recognition`
+// must be an accepted result for state's scheme. On inconsistency the
+// status message names the offending block.
+Status CheckConsistencyByBlocks(const DatabaseState& state,
+                                const RecognitionResult& recognition);
+
+// Convenience: runs recognition first; kFailedPrecondition when the scheme
+// is outside the class (use relation/weak_instance.h's IsConsistent then).
+Status CheckConsistencyByBlocks(const DatabaseState& state);
+
+}  // namespace ird
+
+#endif  // IRD_CORE_CONSISTENCY_H_

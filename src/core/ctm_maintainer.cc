@@ -1,0 +1,63 @@
+#include "core/ctm_maintainer.h"
+
+#include "core/key_equivalence.h"
+#include "core/split.h"
+#include "relation/weak_instance.h"
+
+namespace ird {
+
+Result<PartialTuple> CheckInsertCtm(const DatabaseScheme& scheme,
+                                    const StateKeyIndex& index, size_t rel,
+                                    const PartialTuple& tuple,
+                                    ExtensionStats* stats) {
+  IRD_CHECK(tuple.attrs() == scheme.relation(rel).attrs);
+  // Step (1)-(2): q := t ⋈ t'_1 ⋈ ... ⋈ t'_n over the keys of S_rel.
+  PartialTuple q = tuple;
+  for (const AttributeSet& key : scheme.relation(rel).keys) {
+    Result<PartialTuple> extended =
+        ExtendTuple(scheme, index, tuple.Restrict(key), stats);
+    if (!extended.ok()) return extended.status();
+    std::optional<PartialTuple> joined = q.Join(extended.value());
+    if (!joined.has_value()) {
+      // Step (3): q = ∅ — the insert contradicts the existing total tuple
+      // on this key.
+      return Inconsistent("inserted tuple contradicts the total tuple on " +
+                          scheme.universe().Format(key));
+    }
+    q = std::move(*joined);
+  }
+  return q;
+}
+
+Result<CtmMaintainer> CtmMaintainer::Create(DatabaseState state,
+                                            bool verify_consistency) {
+  if (!IsKeyEquivalent(state.scheme())) {
+    return FailedPrecondition(
+        "CtmMaintainer requires a key-equivalent scheme");
+  }
+  if (!IsSplitFree(state.scheme())) {
+    return FailedPrecondition(
+        "CtmMaintainer requires a split-free scheme (Corollary 3.3)");
+  }
+  if (verify_consistency && !IsConsistent(state)) {
+    return Inconsistent("initial state has no weak instance");
+  }
+  Result<StateKeyIndex> index = StateKeyIndex::Build(state);
+  if (!index.ok()) return index.status();
+  return CtmMaintainer(std::move(state), std::move(index).value());
+}
+
+Result<PartialTuple> CtmMaintainer::CheckInsert(size_t rel,
+                                                const PartialTuple& tuple,
+                                                ExtensionStats* stats) const {
+  return CheckInsertCtm(state_.scheme(), index_, rel, tuple, stats);
+}
+
+Status CtmMaintainer::Insert(size_t rel, const PartialTuple& tuple) {
+  Result<PartialTuple> q = CheckInsert(rel, tuple);
+  if (!q.ok()) return q.status();
+  state_.mutable_relation(rel).AddUnique(tuple);
+  return index_.AddTuple(rel, tuple);
+}
+
+}  // namespace ird

@@ -1,0 +1,42 @@
+#include "core/independence.h"
+
+#include "fd/closure_engine.h"
+
+namespace ird {
+
+std::string UniquenessViolation::ToString(
+    const DatabaseScheme& scheme) const {
+  return "closure of " + scheme.relation(i).name + " without the keys of " +
+         scheme.relation(j).name + " embeds the key dependency " +
+         scheme.universe().Format(key) + " -> " +
+         scheme.universe().Name(attribute);
+}
+
+std::optional<UniquenessViolation> FindUniquenessViolation(
+    const DatabaseScheme& scheme) {
+  for (size_t j = 0; j < scheme.size(); ++j) {
+    // One indexed engine per F - Fj, amortized over all i.
+    ClosureEngine without_j(scheme.KeyDependenciesExcept(j));
+    const RelationScheme& rj = scheme.relation(j);
+    for (size_t i = 0; i < scheme.size(); ++i) {
+      if (i == j) continue;
+      AttributeSet closure = without_j.Closure(scheme.relation(i).attrs);
+      // Does the closure embed some key dependency K -> A of Rj? That is:
+      // K ⊆ closure and some A ∈ Rj - K also in the closure.
+      for (const AttributeSet& key : rj.keys) {
+        if (!key.IsSubsetOf(closure)) continue;
+        AttributeSet extra = closure.Intersect(rj.attrs).Minus(key);
+        if (!extra.Empty()) {
+          return UniquenessViolation{i, j, key, extra.First()};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsIndependent(const DatabaseScheme& scheme) {
+  return !FindUniquenessViolation(scheme).has_value();
+}
+
+}  // namespace ird

@@ -1,0 +1,39 @@
+// Sagiv independence (paper §2.7): LSAT(R,F) = WSAT(R,F) — local key
+// satisfaction implies global consistency. For cover-embedding schemes of
+// key dependencies, independence is characterized by the *uniqueness
+// condition* [S1][S2]: for all Ri ≠ Rj, the closure of Ri wrt F - Fj does
+// not contain (embed) a key dependency of Rj.
+
+#ifndef IRD_CORE_INDEPENDENCE_H_
+#define IRD_CORE_INDEPENDENCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schema/database_scheme.h"
+
+namespace ird {
+
+// A witness that the uniqueness condition fails: Closure_{F-Fj}(Ri) embeds
+// the key dependency key -> attr of Rj.
+struct UniquenessViolation {
+  size_t i;
+  size_t j;
+  AttributeSet key;       // a key of Rj
+  AttributeId attribute;  // an attribute of Rj - key inside the closure
+
+  std::string ToString(const DatabaseScheme& scheme) const;
+};
+
+// Returns a violation of the uniqueness condition, or nullopt if R
+// satisfies it (and is therefore independent wrt its key dependencies).
+std::optional<UniquenessViolation> FindUniquenessViolation(
+    const DatabaseScheme& scheme);
+
+// True iff R satisfies the uniqueness condition.
+bool IsIndependent(const DatabaseScheme& scheme);
+
+}  // namespace ird
+
+#endif  // IRD_CORE_INDEPENDENCE_H_

@@ -1,0 +1,25 @@
+// Constructive completeness of the uniqueness condition: from a uniqueness
+// violation (closure of Ri wrt F - Fj embeds a key dependency of Rj), build
+// a state that is locally consistent but globally inconsistent — the
+// LSAT ≠ WSAT witness showing the scheme is not independent. (Example 1's
+// three-tuple university counterexample is the instance this produces for
+// that scheme.)
+
+#ifndef IRD_CORE_INDEPENDENCE_WITNESS_H_
+#define IRD_CORE_INDEPENDENCE_WITNESS_H_
+
+#include "base/status.h"
+#include "core/independence.h"
+#include "relation/database_state.h"
+
+namespace ird {
+
+// A witness state for `violation` on `scheme`: single-tuple relations (so
+// locally consistent by construction) whose chase derives the embedded key
+// dependency of Rj from the Ri side and contradicts the Rj tuple. Fails
+// with kFailedPrecondition if the scheme has no uniqueness violation.
+Result<DatabaseState> BuildDependenceWitness(const DatabaseScheme& scheme);
+
+}  // namespace ird
+
+#endif  // IRD_CORE_INDEPENDENCE_WITNESS_H_

@@ -1,0 +1,53 @@
+#include "core/kep.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "fd/closure_engine.h"
+
+namespace ird {
+
+namespace {
+
+// One recursion of function KEP on `pool` with the pool's own key
+// dependencies.
+void KepRecurse(const DatabaseScheme& scheme, const std::vector<size_t>& pool,
+                std::vector<std::vector<size_t>>* out) {
+  // Statement (2): part := { [Ri] }, where [Ri] groups schemes with equal
+  // closure wrt the pool's key dependencies.
+  ClosureEngine fds(scheme.KeyDependenciesOf(pool));
+  std::map<AttributeSet, std::vector<size_t>> groups;
+  for (size_t i : pool) {
+    groups[fds.Closure(scheme.relation(i).attrs)].push_back(i);
+  }
+  // Statement (3): a single block means the pool is key-equivalent (all
+  // closures equal forces them to equal the pool's attribute union).
+  if (groups.size() == 1) {
+    out->push_back(pool);
+    return;
+  }
+  for (auto& [closure, block] : groups) {
+    KepRecurse(scheme, block, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> KeyEquivalentPartition(
+    const DatabaseScheme& scheme) {
+  std::vector<size_t> pool(scheme.size());
+  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<std::vector<size_t>> out;
+  KepRecurse(scheme, pool, &out);
+  for (std::vector<size_t>& block : out) {
+    std::sort(block.begin(), block.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              return a.front() < b.front();
+            });
+  return out;
+}
+
+}  // namespace ird

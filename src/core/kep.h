@@ -1,0 +1,23 @@
+// Function KEP (paper §5.1): the key-equivalent partition of R — the unique
+// partition into maximal blocks each key-equivalent wrt its own embedded
+// key dependencies. Computed by the paper's recursive refinement: group
+// schemes by equal closure, recurse into each group with the group's own
+// key dependencies.
+
+#ifndef IRD_CORE_KEP_H_
+#define IRD_CORE_KEP_H_
+
+#include <vector>
+
+#include "schema/database_scheme.h"
+
+namespace ird {
+
+// The key-equivalent partition of R. Each block is a sorted vector of
+// relation indices; blocks are ordered by their smallest member.
+std::vector<std::vector<size_t>> KeyEquivalentPartition(
+    const DatabaseScheme& scheme);
+
+}  // namespace ird
+
+#endif  // IRD_CORE_KEP_H_

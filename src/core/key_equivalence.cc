@@ -1,0 +1,63 @@
+#include "core/key_equivalence.h"
+
+#include <numeric>
+
+namespace ird {
+
+namespace {
+
+std::vector<size_t> FullPool(const DatabaseScheme& scheme) {
+  std::vector<size_t> pool(scheme.size());
+  std::iota(pool.begin(), pool.end(), 0);
+  return pool;
+}
+
+}  // namespace
+
+SchemeClosure ComputeSchemeClosure(const DatabaseScheme& scheme, size_t j,
+                                   const std::vector<size_t>& pool) {
+  SchemeClosure out;
+  out.closure = scheme.relation(j).attrs;
+  std::vector<bool> absorbed(scheme.size(), false);
+  absorbed[j] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i : pool) {
+      if (absorbed[i]) continue;
+      const RelationScheme& r = scheme.relation(i);
+      if (r.attrs.IsSubsetOf(out.closure)) {
+        // Si ⊆ closure adds nothing; mark to keep the scan short. (The
+        // paper's loop condition requires Si ⊄ closure.)
+        absorbed[i] = true;
+        continue;
+      }
+      if (r.ContainsKey(out.closure)) {
+        out.steps.push_back(ClosureStep{i, out.closure});
+        out.closure.UnionWith(r.attrs);
+        absorbed[i] = true;
+        changed = true;
+      }
+    }
+  }
+  return out;
+}
+
+SchemeClosure ComputeSchemeClosure(const DatabaseScheme& scheme, size_t j) {
+  return ComputeSchemeClosure(scheme, j, FullPool(scheme));
+}
+
+bool IsKeyEquivalentSubset(const DatabaseScheme& scheme,
+                           const std::vector<size_t>& pool) {
+  AttributeSet all = scheme.UnionAttrs(pool);
+  for (size_t j : pool) {
+    if (ComputeSchemeClosure(scheme, j, pool).closure != all) return false;
+  }
+  return true;
+}
+
+bool IsKeyEquivalent(const DatabaseScheme& scheme) {
+  return IsKeyEquivalentSubset(scheme, FullPool(scheme));
+}
+
+}  // namespace ird

@@ -1,0 +1,53 @@
+// Key-equivalent database schemes (paper §3): S is key-equivalent wrt its
+// embedded key dependencies iff Si+ = ∪S for every Si — every scheme's
+// closure reaches the whole universe of the (sub)scheme. Includes
+// Algorithm 3, the scheme-level closure computation whose "computations"
+// (orders of scheme absorption) underlie the split-freeness definition.
+
+#ifndef IRD_CORE_KEY_EQUIVALENCE_H_
+#define IRD_CORE_KEY_EQUIVALENCE_H_
+
+#include <vector>
+
+#include "base/attribute_set.h"
+#include "schema/database_scheme.h"
+
+namespace ird {
+
+// One step of a computation of Sj+ (Algorithm 3): the scheme chosen in
+// statement (2) and the closure value before it was absorbed.
+struct ClosureStep {
+  size_t scheme_index;
+  AttributeSet closure_before;
+};
+
+// Result of Algorithm 3 run to completion with a deterministic
+// (first-applicable) choice order.
+struct SchemeClosure {
+  AttributeSet closure;
+  std::vector<ClosureStep> steps;
+};
+
+// Algorithm 3: closure := Sj; while some Si ⊄ closure has a key inside
+// closure, absorb Si. `pool` restricts both the candidate schemes and the
+// key dependencies to a subset of R (empty pool = all of R); the paper uses
+// this with pool = one block of a partition.
+SchemeClosure ComputeSchemeClosure(const DatabaseScheme& scheme, size_t j,
+                                   const std::vector<size_t>& pool);
+
+// Convenience: Algorithm 3 over all of R. Equals the attribute closure of
+// Rj wrt the key dependencies.
+SchemeClosure ComputeSchemeClosure(const DatabaseScheme& scheme, size_t j);
+
+// True iff the subscheme {scheme[i] : i ∈ pool} is key-equivalent wrt the
+// key dependencies embedded in its members: every member's closure (wrt the
+// pool's own key dependencies) equals the pool's attribute union.
+bool IsKeyEquivalentSubset(const DatabaseScheme& scheme,
+                           const std::vector<size_t>& pool);
+
+// True iff R itself is key-equivalent wrt F.
+bool IsKeyEquivalent(const DatabaseScheme& scheme);
+
+}  // namespace ird
+
+#endif  // IRD_CORE_KEY_EQUIVALENCE_H_

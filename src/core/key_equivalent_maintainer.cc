@@ -1,0 +1,106 @@
+#include "core/key_equivalent_maintainer.h"
+
+#include <numeric>
+
+#include "core/key_equivalence.h"
+
+namespace ird {
+
+Result<PartialTuple> CheckInsertKeyEquivalent(
+    const DatabaseScheme& scheme, const std::vector<size_t>& pool,
+    const RepresentativeIndex& index, size_t rel, const PartialTuple& tuple,
+    MaintenanceStats* stats) {
+  IRD_CHECK(tuple.attrs() == scheme.relation(rel).attrs);
+  // Distinct keys embedded in the pool's relations.
+  std::vector<AttributeSet> pool_keys;
+  for (size_t i : pool) {
+    for (const AttributeSet& key : scheme.relation(i).keys) {
+      bool known = false;
+      for (const AttributeSet& k : pool_keys) {
+        if (k == key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) pool_keys.push_back(key);
+    }
+  }
+
+  // Step (1): start from the keys of the inserted tuple's scheme.
+  std::vector<bool> processed(pool_keys.size(), false);
+  std::vector<bool> queued(pool_keys.size(), false);
+  std::vector<size_t> unprocessed;
+  AttributeSet closure = scheme.relation(rel).attrs;
+  for (size_t k = 0; k < pool_keys.size(); ++k) {
+    if (pool_keys[k].IsSubsetOf(closure)) {
+      unprocessed.push_back(k);
+      queued[k] = true;
+    }
+  }
+  PartialTuple q = tuple;
+
+  // Steps (2)-(10).
+  while (!unprocessed.empty()) {
+    size_t k = unprocessed.back();
+    unprocessed.pop_back();
+    processed[k] = true;
+    if (stats != nullptr) ++stats->keys_processed;
+
+    const AttributeSet& key = pool_keys[k];
+    PartialTuple key_values = q.Restrict(key);
+    const PartialTuple* p = index.Lookup(key, key_values);
+    if (stats != nullptr) ++stats->lookups;
+    // Step (4): v is the (unique) total tuple of the representative
+    // instance with these key values, or the key values themselves.
+    const PartialTuple& v = (p != nullptr) ? *p : key_values;
+    // Step (5)-(6): q := q ⋈ v; empty join means inconsistent.
+    std::optional<PartialTuple> joined = q.Join(v);
+    if (!joined.has_value()) {
+      return Inconsistent("inserted tuple contradicts the total tuple on " +
+                          scheme.universe().Format(key));
+    }
+    q = std::move(*joined);
+    // Step (7): closure grows by v's defined attributes.
+    closure.UnionWith(v.attrs());
+    // Steps (8)-(9): queue the keys newly embedded in the closure.
+    for (size_t k2 = 0; k2 < pool_keys.size(); ++k2) {
+      if (!processed[k2] && !queued[k2] &&
+          pool_keys[k2].IsSubsetOf(closure)) {
+        unprocessed.push_back(k2);
+        queued[k2] = true;
+      }
+    }
+  }
+  // Step (11): yes, plus the extended tuple q.
+  return q;
+}
+
+Result<KeyEquivalentMaintainer> KeyEquivalentMaintainer::Create(
+    DatabaseState state) {
+  if (!IsKeyEquivalent(state.scheme())) {
+    return FailedPrecondition(
+        "KeyEquivalentMaintainer requires a key-equivalent scheme");
+  }
+  std::vector<size_t> pool(state.scheme().size());
+  std::iota(pool.begin(), pool.end(), 0);
+  Result<RepresentativeIndex> index = RepresentativeIndex::Build(state, pool);
+  if (!index.ok()) return index.status();
+  return KeyEquivalentMaintainer(std::move(state),
+                                 std::move(index).value(), std::move(pool));
+}
+
+Result<PartialTuple> KeyEquivalentMaintainer::CheckInsert(
+    size_t rel, const PartialTuple& tuple, MaintenanceStats* stats) const {
+  return CheckInsertKeyEquivalent(state_.scheme(), pool_, index_, rel, tuple,
+                                  stats);
+}
+
+Status KeyEquivalentMaintainer::Insert(size_t rel,
+                                       const PartialTuple& tuple) {
+  Result<PartialTuple> q = CheckInsert(rel, tuple);
+  if (!q.ok()) return q.status();
+  state_.mutable_relation(rel).AddUnique(tuple);
+  return index_.InsertTuple(rel, tuple);
+}
+
+}  // namespace ird

@@ -1,0 +1,65 @@
+// Algorithm 2 (paper §3.2): incremental constraint enforcement for
+// key-equivalent database schemes. Given a consistent state's
+// representative instance and an inserted tuple, decides in a bounded
+// number of single-tuple key lookups whether the enlarged state is still
+// consistent — the algebraic-maintainability of Theorem 3.2.
+
+#ifndef IRD_CORE_KEY_EQUIVALENT_MAINTAINER_H_
+#define IRD_CORE_KEY_EQUIVALENT_MAINTAINER_H_
+
+#include <vector>
+
+#include "core/representative_index.h"
+#include "relation/database_state.h"
+
+namespace ird {
+
+// Statistics of one Algorithm 2 run (the quantities the paper bounds).
+struct MaintenanceStats {
+  size_t keys_processed = 0;
+  size_t lookups = 0;
+};
+
+// Algorithm 2 on one instance <s, t>: `index` must be the representative
+// instance of the (pool-restricted) current state; `rel` ∈ pool is the
+// relation receiving `tuple`. Returns the extended tuple q on success
+// ("yes", plus q, as in the paper) or kInconsistent ("no"). Pure — neither
+// the state nor the index is modified.
+Result<PartialTuple> CheckInsertKeyEquivalent(
+    const DatabaseScheme& scheme, const std::vector<size_t>& pool,
+    const RepresentativeIndex& index, size_t rel, const PartialTuple& tuple,
+    MaintenanceStats* stats = nullptr);
+
+// Stateful wrapper over a whole key-equivalent scheme: owns the state and
+// keeps the representative instance in sync across accepted inserts.
+class KeyEquivalentMaintainer {
+ public:
+  // `state` must live on a key-equivalent scheme and be consistent (Build
+  // of the representative index verifies consistency as a byproduct).
+  static Result<KeyEquivalentMaintainer> Create(DatabaseState state);
+
+  // Algorithm 2. Returns q on yes, kInconsistent on no.
+  Result<PartialTuple> CheckInsert(size_t rel, const PartialTuple& tuple,
+                                   MaintenanceStats* stats = nullptr) const;
+
+  // CheckInsert + apply: updates both the state and the index.
+  Status Insert(size_t rel, const PartialTuple& tuple);
+
+  const DatabaseState& state() const { return state_; }
+  const RepresentativeIndex& index() const { return index_; }
+
+ private:
+  KeyEquivalentMaintainer(DatabaseState state, RepresentativeIndex index,
+                          std::vector<size_t> pool)
+      : state_(std::move(state)),
+        index_(std::move(index)),
+        pool_(std::move(pool)) {}
+
+  DatabaseState state_;
+  RepresentativeIndex index_;
+  std::vector<size_t> pool_;
+};
+
+}  // namespace ird
+
+#endif  // IRD_CORE_KEY_EQUIVALENT_MAINTAINER_H_

@@ -1,0 +1,34 @@
+#include "core/query_engine.h"
+
+namespace ird {
+
+Result<QueryEngine> QueryEngine::Create(DatabaseScheme scheme) {
+  RecognitionResult recognition = RecognizeIndependenceReducible(scheme);
+  if (!recognition.accepted) {
+    return FailedPrecondition(
+        "scheme is not independence-reducible: " +
+        recognition.violation->ToString(*recognition.induced));
+  }
+  return QueryEngine(std::move(scheme), std::move(recognition));
+}
+
+ExprPtr QueryEngine::PlanFor(const AttributeSet& x) {
+  auto it = plans_.find(x);
+  if (it != plans_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  ExprPtr plan = BuildBoundedProjectionExpr(scheme_, recognition_, x);
+  plans_.emplace(x, plan);
+  return plan;
+}
+
+PartialRelation QueryEngine::TotalProjection(const DatabaseState& state,
+                                             const AttributeSet& x) {
+  ExprPtr plan = PlanFor(x);
+  if (plan == nullptr) return PartialRelation(x);
+  return Evaluate(*plan, state);
+}
+
+}  // namespace ird

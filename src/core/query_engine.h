@@ -1,0 +1,53 @@
+// QueryEngine: the query-answering facade for independence-reducible
+// schemes. Runs recognition once, compiles each requested X-total
+// projection into its Theorem 4.1 expression on first use, and caches the
+// plans — the "predetermined relational expressions" of boundedness made
+// into a long-lived service object.
+
+#ifndef IRD_CORE_QUERY_ENGINE_H_
+#define IRD_CORE_QUERY_ENGINE_H_
+
+#include <unordered_map>
+
+#include "algebra/expression.h"
+#include "core/recognition.h"
+#include "core/total_projection.h"
+#include "relation/database_state.h"
+
+namespace ird {
+
+class QueryEngine {
+ public:
+  // Fails with kFailedPrecondition when the scheme is rejected by
+  // Algorithm 6 (then only chase-based answering applies).
+  static Result<QueryEngine> Create(DatabaseScheme scheme);
+
+  // The cached plan for [X]; nullptr when no lossless subset of the
+  // induced scheme covers X (then [X] is always empty).
+  ExprPtr PlanFor(const AttributeSet& x);
+
+  // Evaluates [X] against `state` (which must live on the engine's scheme
+  // and be consistent — the weak-instance semantics of [X] presumes it).
+  PartialRelation TotalProjection(const DatabaseState& state,
+                                  const AttributeSet& x);
+
+  const DatabaseScheme& scheme() const { return scheme_; }
+  const RecognitionResult& recognition() const { return recognition_; }
+
+  size_t cache_hits() const { return hits_; }
+  size_t cache_misses() const { return misses_; }
+
+ private:
+  QueryEngine(DatabaseScheme scheme, RecognitionResult recognition)
+      : scheme_(std::move(scheme)), recognition_(std::move(recognition)) {}
+
+  DatabaseScheme scheme_;
+  RecognitionResult recognition_;
+  std::unordered_map<AttributeSet, ExprPtr, AttributeSetHash> plans_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace ird
+
+#endif  // IRD_CORE_QUERY_ENGINE_H_

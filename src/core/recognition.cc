@@ -1,0 +1,48 @@
+#include "core/recognition.h"
+
+namespace ird {
+
+DatabaseScheme InducedScheme(
+    const DatabaseScheme& scheme,
+    const std::vector<std::vector<size_t>>& partition) {
+  DatabaseScheme induced(scheme.universe_ptr());
+  for (const std::vector<size_t>& block : partition) {
+    RelationScheme merged;
+    merged.name = "D" + std::to_string(induced.size() + 1);
+    for (size_t i : block) {
+      const RelationScheme& r = scheme.relation(i);
+      merged.attrs.UnionWith(r.attrs);
+      for (const AttributeSet& key : r.keys) {
+        bool known = false;
+        for (const AttributeSet& k : merged.keys) {
+          if (k == key) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) merged.keys.push_back(key);
+      }
+    }
+    induced.AddRelation(std::move(merged));
+  }
+  return induced;
+}
+
+RecognitionResult RecognizeIndependenceReducible(
+    const DatabaseScheme& scheme) {
+  RecognitionResult result;
+  // Step (1): the key-equivalent partition via KEP.
+  result.partition = KeyEquivalentPartition(scheme);
+  // Step (2): D with the blocks' embedded key dependencies.
+  result.induced = InducedScheme(scheme, result.partition);
+  // Step (3): the independence test on D.
+  result.violation = FindUniquenessViolation(*result.induced);
+  result.accepted = !result.violation.has_value();
+  return result;
+}
+
+bool IsIndependenceReducible(const DatabaseScheme& scheme) {
+  return RecognizeIndependenceReducible(scheme).accepted;
+}
+
+}  // namespace ird

@@ -1,0 +1,45 @@
+// Algorithm 6 (paper §5.2): recognizes exactly the independence-reducible
+// database schemes (Corollary 5.1 + Theorem 5.1). Pipeline: compute the
+// key-equivalent partition with KEP, merge each block into one relation
+// scheme of the induced scheme D, and test D for independence via the
+// uniqueness condition.
+
+#ifndef IRD_CORE_RECOGNITION_H_
+#define IRD_CORE_RECOGNITION_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/independence.h"
+#include "core/kep.h"
+#include "schema/database_scheme.h"
+
+namespace ird {
+
+// The corresponding independence-reducible database scheme D of R induced
+// by `partition`: one relation ∪T_p per block, declaring the (deduplicated)
+// keys of the block's members. Shares R's universe.
+DatabaseScheme InducedScheme(const DatabaseScheme& scheme,
+                             const std::vector<std::vector<size_t>>& partition);
+
+struct RecognitionResult {
+  bool accepted = false;
+  // The key-equivalent partition {KE_1, ..., KE_n} from step (1).
+  std::vector<std::vector<size_t>> partition;
+  // D = {∪KE_1, ..., ∪KE_n}.
+  std::optional<DatabaseScheme> induced;
+  // Why D failed the independence test (set iff rejected).
+  std::optional<UniquenessViolation> violation;
+};
+
+// Algorithm 6. Accepts iff R is independence-reducible wrt its embedded key
+// dependencies; on acceptance, `partition` is an independence-reducible
+// partition and `induced` the corresponding independent scheme.
+RecognitionResult RecognizeIndependenceReducible(const DatabaseScheme& scheme);
+
+// Convenience predicate.
+bool IsIndependenceReducible(const DatabaseScheme& scheme);
+
+}  // namespace ird
+
+#endif  // IRD_CORE_RECOGNITION_H_

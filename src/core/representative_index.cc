@@ -1,0 +1,175 @@
+#include "core/representative_index.h"
+
+#include <deque>
+#include <numeric>
+
+#include "core/key_equivalence.h"
+
+namespace ird {
+
+namespace {
+
+uint64_t HashKeyValues(size_t key_ordinal, const PartialTuple& tuple,
+                       const AttributeSet& key) {
+  uint64_t h = 1469598103934665603ull ^ (key_ordinal * 0x9e3779b97f4a7c15ull);
+  key.ForEach([&](AttributeId a) {
+    h ^= static_cast<uint64_t>(tuple.At(a)) + 0x9e3779b97f4a7c15ull +
+         (h << 6) + (h >> 2);
+  });
+  return h;
+}
+
+}  // namespace
+
+Result<RepresentativeIndex> RepresentativeIndex::Build(
+    const DatabaseState& state, std::vector<size_t> pool) {
+  if (pool.empty()) {
+    pool.resize(state.relation_count());
+    std::iota(pool.begin(), pool.end(), 0);
+  }
+  IRD_CHECK_MSG(IsKeyEquivalentSubset(state.scheme(), pool),
+                "RepresentativeIndex requires a key-equivalent (sub)scheme");
+  RepresentativeIndex idx;
+  for (size_t i : pool) {
+    for (const AttributeSet& key : state.scheme().relation(i).keys) {
+      bool known = false;
+      for (const AttributeSet& k : idx.keys_) {
+        if (k == key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) idx.keys_.push_back(key);
+    }
+  }
+  for (size_t i : pool) {
+    for (const PartialTuple& tuple : state.relation(i).tuples()) {
+      IRD_RETURN_IF_ERROR(idx.InsertTuple(i, tuple));
+    }
+  }
+  return idx;
+}
+
+size_t RepresentativeIndex::AddRow(PartialTuple tuple) {
+  rows_.push_back(std::move(tuple));
+  alive_.push_back(true);
+  return rows_.size() - 1;
+}
+
+void RepresentativeIndex::IndexRow(size_t row) {
+  const PartialTuple& t = rows_[row];
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    if (keys_[k].IsSubsetOf(t.attrs())) {
+      index_[HashKeyValues(k, t, keys_[k])].push_back(row);
+    }
+  }
+}
+
+void RepresentativeIndex::UnindexRow(size_t row) {
+  const PartialTuple& t = rows_[row];
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    if (keys_[k].IsSubsetOf(t.attrs())) {
+      auto it = index_.find(HashKeyValues(k, t, keys_[k]));
+      if (it == index_.end()) continue;
+      auto& bucket = it->second;
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i] == row) {
+          bucket[i] = bucket.back();
+          bucket.pop_back();
+          break;
+        }
+      }
+    }
+  }
+}
+
+Status RepresentativeIndex::Settle(size_t row) {
+  std::deque<size_t> queue = {row};
+  while (!queue.empty()) {
+    size_t r = queue.front();
+    queue.pop_front();
+    if (!alive_[r]) continue;
+    bool merged = false;
+    for (size_t k = 0; k < keys_.size() && !merged; ++k) {
+      const AttributeSet& key = keys_[k];
+      if (!key.IsSubsetOf(rows_[r].attrs())) continue;
+      auto it = index_.find(HashKeyValues(k, rows_[r], key));
+      if (it == index_.end()) continue;
+      for (size_t other : it->second) {
+        if (other == r || !alive_[other]) continue;
+        if (!key.IsSubsetOf(rows_[other].attrs())) continue;
+        if (!rows_[r].AgreesOn(rows_[other], key)) continue;  // hash collision
+        // fd-rule: the two rows agree on a key; since any key determines
+        // ∪S (key-equivalence), their shared constants must all agree, and
+        // they collapse into one row on the union of their columns.
+        std::optional<PartialTuple> joined = rows_[r].Join(rows_[other]);
+        if (!joined.has_value()) {
+          return Inconsistent(
+              "two tuples agree on a key but clash on a shared attribute");
+        }
+        UnindexRow(other);
+        alive_[other] = false;
+        rows_[r] = std::move(*joined);
+        queue.push_back(r);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      IndexRow(r);
+    }
+  }
+  return OkStatus();
+}
+
+Status RepresentativeIndex::InsertTuple(size_t /*rel*/,
+                                        const PartialTuple& tuple) {
+  size_t row = AddRow(tuple);
+  return Settle(row);
+}
+
+std::vector<const PartialTuple*> RepresentativeIndex::Rows() const {
+  std::vector<const PartialTuple*> out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (alive_[i]) out.push_back(&rows_[i]);
+  }
+  return out;
+}
+
+const PartialTuple* RepresentativeIndex::Lookup(
+    const AttributeSet& key, const PartialTuple& key_values) const {
+  IRD_CHECK_MSG(key_values.attrs() == key,
+                "Lookup values must be a tuple on exactly the key");
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    if (keys_[k] != key) continue;
+    auto it = index_.find(HashKeyValues(k, key_values, key));
+    if (it == index_.end()) return nullptr;
+    for (size_t row : it->second) {
+      if (alive_[row] && rows_[row].AgreesOn(key_values, key)) {
+        return &rows_[row];
+      }
+    }
+    return nullptr;
+  }
+  IRD_CHECK_MSG(false, "Lookup with a key not embedded in the scheme");
+  return nullptr;
+}
+
+PartialRelation RepresentativeIndex::TotalProjection(
+    const AttributeSet& x) const {
+  PartialRelation out(x);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (alive_[i] && x.IsSubsetOf(rows_[i].attrs())) {
+      out.AddUnique(rows_[i].Restrict(x));
+    }
+  }
+  return out;
+}
+
+size_t RepresentativeIndex::RowCount() const {
+  size_t n = 0;
+  for (bool a : alive_) n += a ? 1 : 0;
+  return n;
+}
+
+}  // namespace ird

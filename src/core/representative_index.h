@@ -1,0 +1,83 @@
+// Algorithm 1 (paper §3.1) as an incremental engine: the representative
+// instance of a consistent state on a key-equivalent database scheme,
+// maintained as a set of partial tuples ("rows" = the constant components of
+// the chased tableau's rows; the ndv's are implicit and all distinct, per
+// Corollary 3.1(a)) with a hash index per key.
+//
+// Invariants at rest (the paper's loop-termination conditions):
+//   * no two rows agree on a key (Lemma 3.2(c) + step (2) deduplication);
+//   * every row's constant component is derivable by a join of a lossless
+//     subset of S (Lemma 3.2(b)).
+
+#ifndef IRD_CORE_REPRESENTATIVE_INDEX_H_
+#define IRD_CORE_REPRESENTATIVE_INDEX_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "relation/database_state.h"
+
+namespace ird {
+
+class RepresentativeIndex {
+ public:
+  // Builds the representative instance of `state`, which must live on a
+  // key-equivalent (sub)scheme. `pool` restricts to a block of R (empty =
+  // all relations); keys and tuples outside the pool are ignored — this is
+  // how Section 4 runs Algorithm 1 per partition block. Fails with
+  // kInconsistent when the substate has no weak instance.
+  static Result<RepresentativeIndex> Build(const DatabaseState& state,
+                                           std::vector<size_t> pool = {});
+
+  // All live rows (total tuples of the representative instance restricted
+  // to their constant columns).
+  std::vector<const PartialTuple*> Rows() const;
+
+  // The unique row total on `key` with the given key values, if any.
+  // `key_values` must be a tuple on exactly `key`. Uniqueness is Lemma
+  // 3.2(c). O(1) expected.
+  const PartialTuple* Lookup(const AttributeSet& key,
+                             const PartialTuple& key_values) const;
+
+  // Inserts one more tuple of relation `rel` and re-establishes the
+  // invariants (the incremental form of Algorithm 1's while loop). Fails
+  // with kInconsistent if the enlarged state has no weak instance; the
+  // index is left unusable in that case (rebuild to recover).
+  Status InsertTuple(size_t rel, const PartialTuple& tuple);
+
+  // The X-total tuples of the representative instance, deduplicated — the
+  // ground-truth [X] for the block (paper §2.5). Subsumed rows contribute
+  // nothing extra, so scanning live rows suffices.
+  PartialRelation TotalProjection(const AttributeSet& x) const;
+
+  // Number of live rows.
+  size_t RowCount() const;
+
+ private:
+  RepresentativeIndex() = default;
+
+  // Key of the per-key hash index: which key, then the values on it.
+  struct KeySlot {
+    size_t key_ordinal;  // index into keys_
+    size_t row;          // row id
+  };
+
+  size_t AddRow(PartialTuple tuple);
+  Status MergeInto(size_t target, size_t victim);
+  void IndexRow(size_t row);
+  void UnindexRow(size_t row);
+  Status Settle(size_t row);  // re-merge until invariants hold
+
+  // Distinct keys of the pool's relations.
+  std::vector<AttributeSet> keys_;
+  std::vector<PartialTuple> rows_;
+  std::vector<bool> alive_;
+  // (key ordinal, key-values hash) -> row ids (collision chains verified).
+  std::unordered_map<uint64_t, std::vector<size_t>> index_;
+};
+
+}  // namespace ird
+
+#endif  // IRD_CORE_REPRESENTATIVE_INDEX_H_

@@ -1,0 +1,111 @@
+#include "core/split.h"
+
+#include <deque>
+#include <numeric>
+#include <unordered_set>
+
+namespace ird {
+
+namespace {
+
+std::vector<size_t> PoolOrAll(const DatabaseScheme& scheme,
+                              const std::vector<size_t>& pool) {
+  if (!pool.empty()) return pool;
+  std::vector<size_t> all(scheme.size());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+}  // namespace
+
+bool IsKeySplit(const DatabaseScheme& scheme, const AttributeSet& key,
+                const std::vector<size_t>& pool) {
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  // W = schemes of the pool not containing K; G = their key dependencies.
+  std::vector<size_t> w;
+  for (size_t i : p) {
+    if (!key.IsSubsetOf(scheme.relation(i).attrs)) w.push_back(i);
+  }
+  FdSet g = scheme.KeyDependenciesOf(w);
+  // Lemma 3.8 via BMSU: the row for Wi in CHASE_G(T_W) is all-dv on K iff
+  // K ⊆ Closure_G(Wi).
+  for (size_t i : w) {
+    if (key.IsSubsetOf(g.Closure(scheme.relation(i).attrs))) return true;
+  }
+  return false;
+}
+
+bool IsKeySplitInClosureOf(const DatabaseScheme& scheme,
+                           const AttributeSet& key, size_t start,
+                           const std::vector<size_t>& pool) {
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  IRD_CHECK_MSG(p.size() <= 16,
+                "definitional split search is exponential; pool too large");
+  // BFS over the closure states reachable by partial computations of
+  // start+ (Algorithm 3).
+  std::unordered_set<AttributeSet, AttributeSetHash> visited;
+  std::deque<AttributeSet> queue;
+  queue.push_back(scheme.relation(start).attrs);
+  visited.insert(queue.back());
+  while (!queue.empty()) {
+    AttributeSet closure = std::move(queue.front());
+    queue.pop_front();
+    for (size_t j : p) {
+      const RelationScheme& sj = scheme.relation(j);
+      // Applicability per Algorithm 3 step (2).
+      if (sj.attrs.IsSubsetOf(closure)) continue;
+      if (!sj.ContainsKey(closure)) continue;
+      // Does Sj complete K here, without containing K?
+      if (!key.IsSubsetOf(closure) &&
+          key.IsSubsetOf(closure.Union(sj.attrs)) &&
+          !key.IsSubsetOf(sj.attrs)) {
+        return true;
+      }
+      AttributeSet next = closure.Union(sj.attrs);
+      if (visited.insert(next).second) {
+        queue.push_back(std::move(next));
+      }
+    }
+  }
+  return false;
+}
+
+bool IsKeySplitByDefinition(const DatabaseScheme& scheme,
+                            const AttributeSet& key,
+                            const std::vector<size_t>& pool) {
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  for (size_t start : p) {
+    if (IsKeySplitInClosureOf(scheme, key, start, p)) return true;
+  }
+  return false;
+}
+
+std::vector<AttributeSet> SplitKeys(const DatabaseScheme& scheme,
+                                    const std::vector<size_t>& pool) {
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  std::vector<AttributeSet> distinct;
+  for (size_t i : p) {
+    for (const AttributeSet& key : scheme.relation(i).keys) {
+      bool known = false;
+      for (const AttributeSet& k : distinct) {
+        if (k == key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) distinct.push_back(key);
+    }
+  }
+  std::vector<AttributeSet> split;
+  for (const AttributeSet& key : distinct) {
+    if (IsKeySplit(scheme, key, p)) split.push_back(key);
+  }
+  return split;
+}
+
+bool IsSplitFree(const DatabaseScheme& scheme,
+                 const std::vector<size_t>& pool) {
+  return SplitKeys(scheme, pool).empty();
+}
+
+}  // namespace ird

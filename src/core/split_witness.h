@@ -1,0 +1,45 @@
+// The constructive side of Theorem 3.4: for a key-equivalent scheme with a
+// split key K, build the paper's adversarial instance (Lemmas 3.5-3.7) —
+// a consistent state s = s_l ∪ s'_q and an insert tuple u such that
+//   (a) s is consistent                                  (Lemma 3.5/3.7a),
+//   (b) s'_q ∪ {u} (without the K-covering fragments) is consistent
+//                                                        (Lemma 3.7b),
+//   (c) s ∪ {u} is inconsistent                          (Lemma 3.6/3.7c).
+// Detecting the inconsistency therefore requires reading the fragments of
+// s_l — tuples that share no key value with u — which is exactly what a
+// constant-time key-probe procedure cannot do. The witness powers both the
+// non-ctm tests and the E2/E6 experiments.
+
+#ifndef IRD_CORE_SPLIT_WITNESS_H_
+#define IRD_CORE_SPLIT_WITNESS_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "relation/database_state.h"
+
+namespace ird {
+
+struct SplitWitness {
+  // s = s_l ∪ s'_q: the consistent base state.
+  DatabaseState state;
+  // The relations carrying s_l (the fragments that jointly cover K without
+  // containing it) — the tuples a correct rejector must read.
+  std::vector<size_t> covering_relations;
+  // The insert <rel, u> that makes the state inconsistent.
+  size_t insert_rel = 0;
+  PartialTuple insert;
+
+  explicit SplitWitness(DatabaseState s) : state(std::move(s)) {}
+};
+
+// Builds the witness for `key`, which must be split in the (pool-restricted)
+// scheme; `pool` empty = all of R. The pool must be key-equivalent. Fails
+// with kFailedPrecondition when the key is not split.
+Result<SplitWitness> BuildSplitWitness(const DatabaseScheme& scheme,
+                                       const AttributeSet& key,
+                                       std::vector<size_t> pool = {});
+
+}  // namespace ird
+
+#endif  // IRD_CORE_SPLIT_WITNESS_H_

@@ -1,0 +1,58 @@
+// StateKeyIndex: hash indexes from key values to tuples of the *raw* state,
+// one index per (relation, declared key). This is the access structure
+// behind Algorithm 4's single-tuple conjunctive selections σ_Φ(Si): a probe
+// returns the unique matching tuple in O(1) expected time, which is what
+// makes Algorithm 5 constant-time in the state size.
+
+#ifndef IRD_CORE_STATE_KEY_INDEX_H_
+#define IRD_CORE_STATE_KEY_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "relation/database_state.h"
+
+namespace ird {
+
+class StateKeyIndex {
+ public:
+  // Indexes the relations in `pool` (empty = all) of `state`. Fails with
+  // kInconsistent if some relation has two tuples agreeing on a key (a
+  // local key violation, so the state cannot be consistent).
+  static Result<StateKeyIndex> Build(const DatabaseState& state,
+                                     std::vector<size_t> pool = {});
+
+  // Relations covered by this index.
+  const std::vector<size_t>& pool() const { return pool_; }
+
+  // The unique tuple of relation `rel` agreeing with `tuple` on `key`
+  // (which must be a declared key of `rel`; `tuple` must be total on it).
+  // Returns nullptr if absent.
+  const PartialTuple* Probe(size_t rel, const AttributeSet& key,
+                            const PartialTuple& tuple) const;
+
+  // Registers a newly inserted tuple of `rel`. Fails with kInconsistent if
+  // a different tuple with equal key values already exists.
+  Status AddTuple(size_t rel, const PartialTuple& tuple);
+
+ private:
+  struct PerKey {
+    AttributeSet key;
+    // key-values hash -> tuple copies (collisions verified on probe).
+    std::unordered_map<uint64_t, std::vector<PartialTuple>> map;
+  };
+  struct PerRelation {
+    size_t rel = 0;
+    std::vector<PerKey> keys;
+  };
+
+  const PerRelation* FindRelation(size_t rel) const;
+
+  std::vector<size_t> pool_;
+  std::vector<PerRelation> relations_;
+};
+
+}  // namespace ird
+
+#endif  // IRD_CORE_STATE_KEY_INDEX_H_

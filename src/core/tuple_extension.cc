@@ -1,0 +1,46 @@
+#include "core/tuple_extension.h"
+
+namespace ird {
+
+Result<PartialTuple> ExtendTuple(const DatabaseScheme& scheme,
+                                 const StateKeyIndex& index,
+                                 const PartialTuple& seed,
+                                 ExtensionStats* stats) {
+  PartialTuple t = seed;
+  // Step (2): while some tuple p of some si has a key Ki ⊆ C with
+  // p[Ki] = t'[Ki] and Si - C ≠ ∅, absorb p. A (relation, key) probe that
+  // missed can never hit later (C only grows, the state is fixed), so each
+  // pair is probed at most once per growth epoch; we simply rescan until a
+  // full pass makes no progress — the number of passes is at most the
+  // number of relations in the pool.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t rel : index.pool()) {
+      const RelationScheme& r = scheme.relation(rel);
+      if (r.attrs.IsSubsetOf(t.attrs())) continue;  // Si - C = ∅
+      for (const AttributeSet& key : r.keys) {
+        if (!key.IsSubsetOf(t.attrs())) continue;
+        if (stats != nullptr) ++stats->probes;
+        const PartialTuple* p = index.Probe(rel, key, t.Restrict(key));
+        if (p == nullptr) continue;
+        // Step (3): t'[Si] := p[Si]; C := C ∪ Si. On a consistent state the
+        // shared attributes agree; a clash means the state itself is
+        // inconsistent.
+        std::optional<PartialTuple> joined = t.Join(*p);
+        if (!joined.has_value()) {
+          return Inconsistent(
+              "state tuples disagree on chase-equated attributes");
+        }
+        t = std::move(*joined);
+        if (stats != nullptr) ++stats->extensions;
+        changed = true;
+        break;
+      }
+      if (changed) break;
+    }
+  }
+  return t;
+}
+
+}  // namespace ird

@@ -1,0 +1,58 @@
+#include "fd/closure_engine.h"
+
+#include <deque>
+
+namespace ird {
+
+ClosureEngine::ClosureEngine(const FdSet& fds) {
+  for (const FunctionalDependency& fd : fds.fds()) {
+    uint32_t id = static_cast<uint32_t>(fds_.size());
+    fds_.push_back(IndexedFd{static_cast<uint32_t>(fd.lhs.Count()), fd.rhs});
+    fd.lhs.ForEach([&](AttributeId a) {
+      if (by_attr_.size() <= a) by_attr_.resize(a + 1);
+      by_attr_[a].push_back(id);
+    });
+    // FDs with an empty left side fire unconditionally; model them as
+    // lhs_size 0 handled in Closure().
+  }
+}
+
+AttributeSet ClosureEngine::Closure(const AttributeSet& x) const {
+  missing_.assign(fds_.size(), 0);
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    missing_[i] = fds_[i].lhs_size;
+  }
+  AttributeSet closure = x;
+  std::deque<AttributeId> queue;
+  closure.ForEach([&](AttributeId a) { queue.push_back(a); });
+  // FDs with empty left sides fire immediately.
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (missing_[i] == 0) {
+      fds_[i].rhs.ForEach([&](AttributeId a) {
+        if (!closure.Contains(a)) {
+          closure.Add(a);
+          queue.push_back(a);
+        }
+      });
+    }
+  }
+  while (!queue.empty()) {
+    AttributeId a = queue.front();
+    queue.pop_front();
+    if (a >= by_attr_.size()) continue;
+    for (uint32_t id : by_attr_[a]) {
+      if (missing_[id] == 0) continue;
+      if (--missing_[id] == 0) {
+        fds_[id].rhs.ForEach([&](AttributeId b) {
+          if (!closure.Contains(b)) {
+            closure.Add(b);
+            queue.push_back(b);
+          }
+        });
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace ird

@@ -1,0 +1,47 @@
+// ClosureEngine: repeated attribute-set closures against one fixed FD set,
+// in time linear in the size of F per query (Beeri–Bernstein counting
+// algorithm). FdSet::Closure re-scans the dependency list to a fixpoint —
+// fine for one-off queries; the recognition pipeline (KEP, the uniqueness
+// condition, split tests) computes thousands of closures against the same
+// set, which is this engine's job.
+
+#ifndef IRD_FD_CLOSURE_ENGINE_H_
+#define IRD_FD_CLOSURE_ENGINE_H_
+
+#include <vector>
+
+#include "base/attribute_set.h"
+#include "fd/fd_set.h"
+
+namespace ird {
+
+class ClosureEngine {
+ public:
+  // Indexes `fds`; the engine keeps its own copy of the dependency
+  // structure (the FdSet may be destroyed afterwards).
+  explicit ClosureEngine(const FdSet& fds);
+
+  // X+ wrt the indexed set. O(Σ|lhs| + Σ|rhs|) per call.
+  AttributeSet Closure(const AttributeSet& x) const;
+
+  // rhs ⊆ Closure(lhs)?
+  bool Implies(const AttributeSet& lhs, const AttributeSet& rhs) const {
+    return rhs.IsSubsetOf(Closure(lhs));
+  }
+
+ private:
+  struct IndexedFd {
+    uint32_t lhs_size;
+    AttributeSet rhs;
+  };
+
+  std::vector<IndexedFd> fds_;
+  // For each attribute, the FDs whose left side contains it.
+  std::vector<std::vector<uint32_t>> by_attr_;
+  // Scratch counters, reused across calls (sized on first use).
+  mutable std::vector<uint32_t> missing_;
+};
+
+}  // namespace ird
+
+#endif  // IRD_FD_CLOSURE_ENGINE_H_

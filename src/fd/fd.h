@@ -1,0 +1,44 @@
+// FunctionalDependency: X -> Y over a Universe (paper §2.3).
+
+#ifndef IRD_FD_FD_H_
+#define IRD_FD_FD_H_
+
+#include <string>
+
+#include "base/attribute_set.h"
+#include "base/universe.h"
+
+namespace ird {
+
+// A functional dependency lhs -> rhs. Both sides are attribute sets; a
+// "standard form" FD has a single attribute on the right, but the general
+// form is allowed everywhere and expanded on demand.
+struct FunctionalDependency {
+  AttributeSet lhs;
+  AttributeSet rhs;
+
+  FunctionalDependency() = default;
+  FunctionalDependency(AttributeSet l, AttributeSet r)
+      : lhs(std::move(l)), rhs(std::move(r)) {}
+
+  // Trivial iff rhs ⊆ lhs.
+  bool IsTrivial() const { return rhs.IsSubsetOf(lhs); }
+
+  // Embedded in scheme R iff lhs ∪ rhs ⊆ R (paper §2.3).
+  bool IsEmbeddedIn(const AttributeSet& scheme) const {
+    return lhs.IsSubsetOf(scheme) && rhs.IsSubsetOf(scheme);
+  }
+
+  bool operator==(const FunctionalDependency& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+
+  // "AB -> C" using universe names.
+  std::string ToString(const Universe& universe) const {
+    return universe.Format(lhs) + " -> " + universe.Format(rhs);
+  }
+};
+
+}  // namespace ird
+
+#endif  // IRD_FD_FD_H_

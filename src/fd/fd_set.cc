@@ -1,0 +1,139 @@
+#include "fd/fd_set.h"
+
+#include <algorithm>
+
+namespace ird {
+
+void FdSet::AddAll(const FdSet& other) {
+  fds_.insert(fds_.end(), other.fds_.begin(), other.fds_.end());
+}
+
+AttributeSet FdSet::Closure(const AttributeSet& x) const {
+  AttributeSet closure = x;
+  // Fixpoint: keep applying FDs whose left side is already covered. A used[]
+  // mask keeps each FD from firing more than once (once applied, reapplying
+  // adds nothing).
+  std::vector<bool> used(fds_.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < fds_.size(); ++i) {
+      if (used[i]) continue;
+      if (fds_[i].lhs.IsSubsetOf(closure)) {
+        used[i] = true;
+        if (!fds_[i].rhs.IsSubsetOf(closure)) {
+          closure.UnionWith(fds_[i].rhs);
+          changed = true;
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdSet::Covers(const FdSet& other) const {
+  for (const FunctionalDependency& fd : other.fds_) {
+    if (!Implies(fd)) return false;
+  }
+  return true;
+}
+
+FdSet FdSet::StandardForm() const {
+  FdSet out;
+  for (const FunctionalDependency& fd : fds_) {
+    AttributeSet effective = fd.rhs.Minus(fd.lhs);
+    effective.ForEach([&](AttributeId a) {
+      out.Add(fd.lhs, AttributeSet{a});
+    });
+  }
+  return out;
+}
+
+FdSet FdSet::MinimalCover() const {
+  // Step 1: standard form (singleton right sides, trivial parts dropped).
+  FdSet g = StandardForm();
+
+  // Step 2: remove extraneous left-side attributes. X -> A can shrink to
+  // (X - B) -> A whenever A ∈ (X - B)+ wrt G.
+  for (FunctionalDependency& fd : g.fds_) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      std::vector<AttributeId> lhs = fd.lhs.ToVector();
+      for (AttributeId b : lhs) {
+        if (fd.lhs.Count() <= 1) break;
+        AttributeSet reduced = fd.lhs;
+        reduced.Remove(b);
+        if (fd.rhs.IsSubsetOf(g.Closure(reduced))) {
+          fd.lhs = reduced;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Step 3: drop redundant FDs (those implied by the rest).
+  FdSet out;
+  for (size_t i = 0; i < g.fds_.size(); ++i) {
+    FdSet rest;
+    for (size_t j = 0; j < g.fds_.size(); ++j) {
+      if (j != i) rest.Add(g.fds_[j]);
+    }
+    rest.AddAll(out);  // keep already-accepted FDs available
+    // `rest` double-counts accepted FDs; harmless for closure computation.
+    if (!rest.Implies(g.fds_[i])) {
+      out.Add(g.fds_[i]);
+      // Mark as kept by leaving it in g for later redundancy checks.
+    } else {
+      g.fds_[i].rhs = g.fds_[i].lhs;  // neutralize: becomes trivial
+    }
+  }
+  // Remove the neutralized (trivial) FDs.
+  FdSet minimal;
+  for (const FunctionalDependency& fd : g.fds_) {
+    if (!fd.IsTrivial()) minimal.Add(fd);
+  }
+  return minimal;
+}
+
+FdSet FdSet::ProjectOnto(const AttributeSet& scheme) const {
+  IRD_CHECK_MSG(scheme.Count() <= 24,
+                "FD projection is exponential; scheme too large");
+  // Enumerate X ⊆ scheme; emit X -> (X+ ∩ scheme). Redundant generators are
+  // pruned afterwards by minimization.
+  std::vector<AttributeId> attrs = scheme.ToVector();
+  size_t n = attrs.size();
+  FdSet projected;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    AttributeSet x;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) x.Add(attrs[i]);
+    }
+    AttributeSet rhs = Closure(x).Intersect(scheme).Minus(x);
+    if (!rhs.Empty()) {
+      projected.Add(std::move(x), std::move(rhs));
+    }
+  }
+  return projected.MinimalCover();
+}
+
+FdSet FdSet::EmbeddedIn(const AttributeSet& scheme) const {
+  FdSet out;
+  for (const FunctionalDependency& fd : fds_) {
+    if (fd.IsEmbeddedIn(scheme)) out.Add(fd);
+  }
+  return out;
+}
+
+std::string FdSet::ToString(const Universe& universe) const {
+  std::string out = "{";
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fds_[i].ToString(universe);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ird

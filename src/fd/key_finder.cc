@@ -1,0 +1,97 @@
+#include "fd/key_finder.h"
+
+#include <algorithm>
+
+namespace ird {
+
+namespace {
+
+// Generates all subsets of `attrs` of size `k` and calls `fn` on each;
+// stops early if `fn` returns false.
+template <typename Fn>
+bool ForEachSubsetOfSize(const std::vector<AttributeId>& attrs, size_t k,
+                         Fn&& fn) {
+  size_t n = attrs.size();
+  if (k > n) return true;
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    AttributeSet subset;
+    for (size_t i : idx) subset.Add(attrs[i]);
+    if (!fn(subset)) return false;
+    // Advance the combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return true;
+    }
+    if (k == 0) return true;
+  }
+}
+
+}  // namespace
+
+bool IsCandidateKey(const AttributeSet& key, const AttributeSet& scheme,
+                    const FdSet& fds) {
+  if (key.Empty() || !key.IsSubsetOf(scheme)) return false;
+  if (!fds.Implies(key, scheme)) return false;
+  bool minimal = true;
+  key.ForEach([&](AttributeId a) {
+    if (!minimal) return;
+    AttributeSet smaller = key;
+    smaller.Remove(a);
+    if (fds.Implies(smaller, scheme)) minimal = false;
+  });
+  return minimal;
+}
+
+AttributeSet ReduceToKey(const AttributeSet& superkey,
+                         const AttributeSet& scheme, const FdSet& fds) {
+  IRD_CHECK_MSG(fds.Implies(superkey, scheme),
+                "ReduceToKey: input is not a superkey");
+  AttributeSet key = superkey;
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    std::vector<AttributeId> attrs = key.ToVector();
+    for (AttributeId a : attrs) {
+      AttributeSet smaller = key;
+      smaller.Remove(a);
+      if (!smaller.Empty() && fds.Implies(smaller, scheme)) {
+        key = smaller;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return key;
+}
+
+std::vector<AttributeSet> FindCandidateKeys(const AttributeSet& scheme,
+                                            const FdSet& fds) {
+  IRD_CHECK_MSG(scheme.Count() <= 24,
+                "candidate-key enumeration is exponential; scheme too large");
+  std::vector<AttributeId> attrs = scheme.ToVector();
+  std::vector<AttributeSet> keys;
+  // Enumerate by increasing size; a set is a candidate key iff it determines
+  // the scheme and contains no previously found (smaller or equal) key.
+  for (size_t k = 1; k <= attrs.size(); ++k) {
+    ForEachSubsetOfSize(attrs, k, [&](const AttributeSet& subset) {
+      for (const AttributeSet& key : keys) {
+        if (key.IsSubsetOf(subset)) return true;  // not minimal
+      }
+      if (fds.Implies(subset, scheme)) {
+        keys.push_back(subset);
+      }
+      return true;
+    });
+  }
+  return keys;
+}
+
+}  // namespace ird

@@ -1,0 +1,35 @@
+// Candidate-key enumeration: all minimal K ⊆ R with K -> R ∈ F+ (paper
+// §2.3). In this library keys are normally *declared* on each relation
+// scheme; the finder exists to validate declarations, to synthesize schemes
+// in generators, and as a user-facing design utility.
+
+#ifndef IRD_FD_KEY_FINDER_H_
+#define IRD_FD_KEY_FINDER_H_
+
+#include <vector>
+
+#include "base/attribute_set.h"
+#include "fd/fd_set.h"
+
+namespace ird {
+
+// Returns every candidate key of `scheme` wrt `fds`, in increasing size
+// order. Exponential in |scheme| in the worst case (the number of candidate
+// keys itself can be exponential); guarded for |scheme| <= 24.
+std::vector<AttributeSet> FindCandidateKeys(const AttributeSet& scheme,
+                                            const FdSet& fds);
+
+// Returns some minimal key contained in `superkey` (which must satisfy
+// superkey -> scheme ∈ F+): greedily drops attributes while the remainder
+// still determines `scheme`.
+AttributeSet ReduceToKey(const AttributeSet& superkey,
+                         const AttributeSet& scheme, const FdSet& fds);
+
+// True iff `key` is a candidate key of `scheme` wrt `fds`: it determines
+// `scheme` and no proper subset does. Works for any scheme size.
+bool IsCandidateKey(const AttributeSet& key, const AttributeSet& scheme,
+                    const FdSet& fds);
+
+}  // namespace ird
+
+#endif  // IRD_FD_KEY_FINDER_H_

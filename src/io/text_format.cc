@@ -1,0 +1,187 @@
+#include "io/text_format.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ird {
+
+Value ValueDictionary::Intern(std::string_view token) {
+  auto it = by_token_.find(std::string(token));
+  if (it != by_token_.end()) return it->second;
+  Value v = static_cast<Value>(tokens_.size());
+  tokens_.emplace_back(token);
+  by_token_.emplace(tokens_.back(), v);
+  return v;
+}
+
+const std::string& ValueDictionary::Name(Value v) const {
+  static const std::string kUnknown = "?";
+  if (v < 0 || static_cast<size_t>(v) >= tokens_.size()) return kUnknown;
+  return tokens_[static_cast<size_t>(v)];
+}
+
+DatabaseState ParsedDatabase::MakeState() const {
+  DatabaseState state(scheme);
+  for (const auto& [rel, values] : inserts) {
+    state.mutable_relation(rel).AddUnique(
+        PartialTuple(scheme.relation(rel).attrs, values));
+  }
+  return state;
+}
+
+namespace {
+
+// Splits a line into tokens; parentheses are their own tokens.
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '#') break;
+    if (c == '(' || c == ')') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      tokens.push_back(std::string(1, c));
+    } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+// Parses "( tok tok ... )" starting at *pos; advances *pos past ')'.
+Result<std::vector<std::string>> ParseGroup(
+    const std::vector<std::string>& tokens, size_t* pos) {
+  if (*pos >= tokens.size() || tokens[*pos] != "(") {
+    return ParseError("expected '('");
+  }
+  ++*pos;
+  std::vector<std::string> group;
+  while (*pos < tokens.size() && tokens[*pos] != ")") {
+    group.push_back(tokens[*pos]);
+    ++*pos;
+  }
+  if (*pos >= tokens.size()) return ParseError("unterminated '('");
+  ++*pos;  // consume ')'
+  if (group.empty()) return ParseError("empty attribute group");
+  return group;
+}
+
+}  // namespace
+
+Result<ParsedDatabase> ParseDatabaseText(std::string_view text) {
+  ParsedDatabase db;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  size_t line_no = 0;
+  auto fail = [&line_no](const std::string& message) {
+    return ParseError("line " + std::to_string(line_no) + ": " + message);
+  };
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "relation") {
+      if (tokens.size() < 2) return fail("relation needs a name");
+      RelationScheme r;
+      r.name = tokens[1];
+      size_t pos = 2;
+      Result<std::vector<std::string>> attrs = ParseGroup(tokens, &pos);
+      if (!attrs.ok()) return fail(attrs.status().message());
+      std::vector<AttributeId> order;
+      for (const std::string& a : *attrs) {
+        AttributeId id = db.scheme.universe_ptr()->Intern(a);
+        if (r.attrs.Contains(id)) return fail("duplicate attribute " + a);
+        r.attrs.Add(id);
+        order.push_back(id);
+      }
+      if (pos >= tokens.size() || tokens[pos] != "keys") {
+        return fail("expected 'keys'");
+      }
+      ++pos;
+      while (pos < tokens.size()) {
+        Result<std::vector<std::string>> key = ParseGroup(tokens, &pos);
+        if (!key.ok()) return fail(key.status().message());
+        AttributeSet key_set;
+        for (const std::string& a : *key) {
+          Result<AttributeId> id = db.scheme.universe().Find(a);
+          if (!id.ok() || !r.attrs.Contains(*id)) {
+            return fail("key attribute " + a + " not in relation");
+          }
+          key_set.Add(*id);
+        }
+        r.keys.push_back(key_set);
+      }
+      if (r.keys.empty()) return fail("relation needs at least one key");
+      db.scheme.AddRelation(std::move(r));
+      db.declared_order.push_back(std::move(order));
+    } else if (tokens[0] == "insert") {
+      if (tokens.size() < 2) return fail("insert needs a relation name");
+      Result<size_t> rel = db.scheme.FindRelation(tokens[1]);
+      if (!rel.ok()) return fail("unknown relation " + tokens[1]);
+      const std::vector<AttributeId>& order = db.declared_order[*rel];
+      if (tokens.size() - 2 != order.size()) {
+        return fail("insert arity mismatch for " + tokens[1]);
+      }
+      // Pair written-order values with their attributes, then sort into
+      // attribute-id order as tuples store them.
+      std::vector<std::pair<AttributeId, Value>> pairs;
+      for (size_t i = 0; i < order.size(); ++i) {
+        pairs.emplace_back(order[i], db.values.Intern(tokens[2 + i]));
+      }
+      std::sort(pairs.begin(), pairs.end());
+      std::vector<Value> values;
+      values.reserve(pairs.size());
+      for (const auto& [attr, value] : pairs) values.push_back(value);
+      db.inserts.emplace_back(*rel, std::move(values));
+    } else {
+      return fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (db.scheme.size() == 0) return ParseError("no relations declared");
+  return db;
+}
+
+std::string FormatScheme(const DatabaseScheme& scheme) {
+  std::string out;
+  for (const RelationScheme& r : scheme.relations()) {
+    out += "relation " + r.name + " (";
+    r.attrs.ForEach([&](AttributeId a) {
+      out += " " + scheme.universe().Name(a);
+    });
+    out += " ) keys";
+    for (const AttributeSet& key : r.keys) {
+      out += " (";
+      key.ForEach(
+          [&](AttributeId a) { out += " " + scheme.universe().Name(a); });
+      out += " )";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FormatState(const DatabaseState& state,
+                        const ValueDictionary& dict) {
+  std::string out;
+  for (size_t rel = 0; rel < state.relation_count(); ++rel) {
+    for (const PartialTuple& t : state.relation(rel).tuples()) {
+      out += "insert " + state.scheme().relation(rel).name;
+      for (Value v : t.values()) {
+        const std::string& name = dict.Name(v);
+        out += " " + (name == "?" ? std::to_string(v) : name);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace ird

@@ -1,0 +1,66 @@
+// A small line-oriented text format for schemes and states, used by the
+// scheme_tool example and by tests that read fixtures. Grammar (one
+// directive per line, '#' starts a comment):
+//
+//   relation <name> ( <attr> ... ) keys ( <attr> ... ) [ ( <attr> ... ) ... ]
+//   insert <relation-name> <value-token> ...
+//
+// Attribute names become Universe entries; value tokens are interned into a
+// ValueDictionary so states print back with their original names.
+
+#ifndef IRD_IO_TEXT_FORMAT_H_
+#define IRD_IO_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "relation/database_state.h"
+#include "schema/database_scheme.h"
+
+namespace ird {
+
+// Bidirectional token <-> Value mapping for readable constants.
+class ValueDictionary {
+ public:
+  Value Intern(std::string_view token);
+  const std::string& Name(Value v) const;
+  bool Has(std::string_view token) const {
+    return by_token_.find(std::string(token)) != by_token_.end();
+  }
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, Value> by_token_;
+};
+
+struct ParsedDatabase {
+  DatabaseScheme scheme = DatabaseScheme::Create();
+  // Attribute order as written in each relation's declaration (insert lines
+  // list values in that order; tuples store them in attribute-id order).
+  std::vector<std::vector<AttributeId>> declared_order;
+  // (relation index, values in attribute-id order).
+  std::vector<std::pair<size_t, std::vector<Value>>> inserts;
+  ValueDictionary values;
+
+  // The parsed state (scheme + all inserts applied).
+  DatabaseState MakeState() const;
+};
+
+// Parses the text format. All `relation` lines must precede `insert` lines.
+Result<ParsedDatabase> ParseDatabaseText(std::string_view text);
+
+// Renders a scheme in the parseable format.
+std::string FormatScheme(const DatabaseScheme& scheme);
+
+// Renders a state in the parseable format using `dict` for value names
+// (values missing from the dictionary print as raw integers).
+std::string FormatState(const DatabaseState& state,
+                        const ValueDictionary& dict);
+
+}  // namespace ird
+
+#endif  // IRD_IO_TEXT_FORMAT_H_

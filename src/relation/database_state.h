@@ -1,0 +1,54 @@
+// DatabaseState: r = <r1, ..., rn>, one relation per relation scheme
+// (paper §2.1). Owns a copy of its DatabaseScheme (schemes are small,
+// cheaply copyable values sharing their Universe).
+
+#ifndef IRD_RELATION_DATABASE_STATE_H_
+#define IRD_RELATION_DATABASE_STATE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "relation/relation.h"
+#include "schema/database_scheme.h"
+
+namespace ird {
+
+class DatabaseState {
+ public:
+  explicit DatabaseState(DatabaseScheme scheme);
+
+  const DatabaseScheme& scheme() const { return scheme_; }
+  const Universe& universe() const { return scheme_.universe(); }
+
+  size_t relation_count() const { return relations_.size(); }
+  const PartialRelation& relation(size_t i) const {
+    IRD_CHECK(i < relations_.size());
+    return relations_[i];
+  }
+  PartialRelation& mutable_relation(size_t i) {
+    IRD_CHECK(i < relations_.size());
+    return relations_[i];
+  }
+  const std::vector<PartialRelation>& relations() const { return relations_; }
+
+  // Inserts a tuple (values in increasing-attribute order) into relation i.
+  void Insert(size_t i, std::vector<Value> values);
+  // Inserts into the relation named `name` (must exist).
+  void Insert(std::string_view name, std::vector<Value> values);
+
+  // Total number of tuples across all relations.
+  size_t TupleCount() const;
+
+  // A tuple on relation i's scheme built from raw values (not inserted).
+  PartialTuple MakeTuple(size_t i, std::vector<Value> values) const {
+    return PartialTuple(scheme_.relation(i).attrs, std::move(values));
+  }
+
+ private:
+  DatabaseScheme scheme_;
+  std::vector<PartialRelation> relations_;
+};
+
+}  // namespace ird
+
+#endif  // IRD_RELATION_DATABASE_STATE_H_

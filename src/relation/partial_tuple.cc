@@ -1,0 +1,65 @@
+#include "relation/partial_tuple.h"
+
+namespace ird {
+
+PartialTuple PartialTuple::Restrict(const AttributeSet& x) const {
+  IRD_CHECK_MSG(x.IsSubsetOf(attrs_), "restriction outside tuple's scheme");
+  std::vector<Value> vals;
+  vals.reserve(x.Count());
+  x.ForEach([&](AttributeId a) { vals.push_back(At(a)); });
+  return PartialTuple(x, std::move(vals));
+}
+
+bool PartialTuple::AgreesOn(const PartialTuple& other,
+                            const AttributeSet& x) const {
+  IRD_CHECK(x.IsSubsetOf(attrs_) && x.IsSubsetOf(other.attrs_));
+  bool agree = true;
+  x.ForEach([&](AttributeId a) {
+    if (agree && At(a) != other.At(a)) agree = false;
+  });
+  return agree;
+}
+
+bool PartialTuple::JoinableWith(const PartialTuple& other) const {
+  AttributeSet shared = attrs_.Intersect(other.attrs_);
+  bool ok = true;
+  shared.ForEach([&](AttributeId a) {
+    if (ok && At(a) != other.At(a)) ok = false;
+  });
+  return ok;
+}
+
+std::optional<PartialTuple> PartialTuple::Join(
+    const PartialTuple& other) const {
+  if (!JoinableWith(other)) return std::nullopt;
+  AttributeSet joint = attrs_.Union(other.attrs_);
+  std::vector<Value> vals;
+  vals.reserve(joint.Count());
+  joint.ForEach([&](AttributeId a) {
+    vals.push_back(attrs_.Contains(a) ? At(a) : other.At(a));
+  });
+  return PartialTuple(joint, std::move(vals));
+}
+
+size_t PartialTuple::Hash() const {
+  uint64_t h = attrs_.Hash();
+  for (Value v : values_) {
+    h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+  }
+  return static_cast<size_t>(h);
+}
+
+std::string PartialTuple::ToString(const Universe& universe) const {
+  std::string out = "<";
+  bool first = true;
+  attrs_.ForEach([&](AttributeId a) {
+    if (!first) out += ",";
+    out += universe.Name(a) + "=" + std::to_string(At(a));
+    first = false;
+  });
+  out += ">";
+  return out;
+}
+
+}  // namespace ird

@@ -1,0 +1,58 @@
+// PartialRelation: a set of tuples all defined on the same attribute set.
+// Serves both as the relations of a database state (attrs = a relation
+// scheme) and as intermediate results of relational-algebra evaluation.
+
+#ifndef IRD_RELATION_RELATION_H_
+#define IRD_RELATION_RELATION_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "base/attribute_set.h"
+#include "fd/fd_set.h"
+#include "relation/partial_tuple.h"
+
+namespace ird {
+
+class PartialRelation {
+ public:
+  PartialRelation() = default;
+  explicit PartialRelation(AttributeSet attrs) : attrs_(std::move(attrs)) {}
+
+  const AttributeSet& attrs() const { return attrs_; }
+  const std::vector<PartialTuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  // Appends `tuple` (its attribute set must equal attrs()); duplicates are
+  // allowed — use AddUnique for set semantics.
+  void Add(PartialTuple tuple);
+
+  // Appends only if not already present. Returns true if added.
+  bool AddUnique(PartialTuple tuple);
+
+  // Convenience: tuple from raw values in increasing-attribute order.
+  void Add(std::vector<Value> values) {
+    Add(PartialTuple(attrs_, std::move(values)));
+  }
+
+  bool Contains(const PartialTuple& tuple) const;
+
+  // Set-semantics equality (order-insensitive, duplicates collapse).
+  bool SetEquals(const PartialRelation& other) const;
+
+  // True iff the relation satisfies every FD of `fds` that is embedded in
+  // attrs() (non-embedded FDs are ignored). Hash-based, O(n) per FD.
+  bool Satisfies(const FdSet& fds) const;
+
+  std::string ToString(const Universe& universe) const;
+
+ private:
+  AttributeSet attrs_;
+  std::vector<PartialTuple> tuples_;
+  std::unordered_set<size_t> dedup_hashes_;  // quick reject for AddUnique
+};
+
+}  // namespace ird
+
+#endif  // IRD_RELATION_RELATION_H_

@@ -1,0 +1,60 @@
+#include "relation/weak_instance.h"
+
+namespace ird {
+
+Tableau StateTableau(const DatabaseState& state) {
+  Tableau t(state.universe().size());
+  for (size_t i = 0; i < state.relation_count(); ++i) {
+    const AttributeSet& attrs = state.scheme().relation(i).attrs;
+    for (const PartialTuple& tuple : state.relation(i).tuples()) {
+      t.AddTupleRow(attrs, tuple.values());
+    }
+  }
+  return t;
+}
+
+Result<Tableau> RepresentativeInstance(const DatabaseState& state) {
+  Tableau t = StateTableau(state);
+  ChaseStats stats = ChaseFds(&t, state.scheme().key_dependencies());
+  if (!stats.consistent) {
+    return Inconsistent("state has no weak instance");
+  }
+  return t;
+}
+
+bool IsConsistent(const DatabaseState& state) {
+  Tableau t = StateTableau(state);
+  return ChaseFds(&t, state.scheme().key_dependencies()).consistent;
+}
+
+Result<PartialRelation> TotalProjectionByChase(const DatabaseState& state,
+                                               const AttributeSet& x) {
+  Result<Tableau> ri = RepresentativeInstance(state);
+  if (!ri.ok()) return ri.status();
+  const Tableau& t = ri.value();
+  PartialRelation out(x);
+  for (size_t row = 0; row < t.row_count(); ++row) {
+    if (t.TotalOn(row, x)) {
+      out.AddUnique(PartialTuple(x, t.ValuesOn(row, x)));
+    }
+  }
+  return out;
+}
+
+bool WouldRemainConsistent(const DatabaseState& state, size_t rel,
+                           const PartialTuple& tuple) {
+  Tableau t = StateTableau(state);
+  t.AddTupleRow(state.scheme().relation(rel).attrs, tuple.values());
+  return ChaseFds(&t, state.scheme().key_dependencies()).consistent;
+}
+
+bool IsLocallyConsistent(const DatabaseState& state) {
+  const FdSet& f = state.scheme().key_dependencies();
+  for (size_t i = 0; i < state.relation_count(); ++i) {
+    FdSet projected = f.ProjectOnto(state.scheme().relation(i).attrs);
+    if (!state.relation(i).Satisfies(projected)) return false;
+  }
+  return true;
+}
+
+}  // namespace ird

@@ -1,0 +1,48 @@
+// The weak instance model (paper §2.5): consistency of a state is the
+// existence of a weak instance, decided by chasing the state tableau; the
+// chased tableau is the representative instance; queries are X-total
+// projections of it.
+//
+// These chase-based functions are the library's semantic ground truth. The
+// paper's contribution is computing the same answers *without* re-chasing —
+// see src/core.
+
+#ifndef IRD_RELATION_WEAK_INSTANCE_H_
+#define IRD_RELATION_WEAK_INSTANCE_H_
+
+#include "base/status.h"
+#include "relation/database_state.h"
+#include "tableau/chase.h"
+#include "tableau/tableau.h"
+
+namespace ird {
+
+// The state tableau T_r (paper §2.2): one row per tuple — the tuple's
+// constants on its scheme, fresh ndv's elsewhere.
+Tableau StateTableau(const DatabaseState& state);
+
+// CHASE_F(T_r) where F is the scheme's key dependencies. Returns
+// kInconsistent if the state has no weak instance.
+Result<Tableau> RepresentativeInstance(const DatabaseState& state);
+
+// True iff the state has a weak instance wrt the key dependencies.
+bool IsConsistent(const DatabaseState& state);
+
+// The X-total projection [X] (paper §2.5): π↓_X(CHASE_F(T_r)), deduplicated.
+// Returns kInconsistent on an inconsistent state.
+Result<PartialRelation> TotalProjectionByChase(const DatabaseState& state,
+                                               const AttributeSet& x);
+
+// Local satisfaction (paper §2.7): r ∈ LSAT(R, F) iff each ri satisfies the
+// projected dependencies F+|Ri. Exponential in max |Ri| (FD projection).
+bool IsLocallyConsistent(const DatabaseState& state);
+
+// The naive maintenance baseline: is r ∪ {t on R_rel} consistent? Chases
+// the whole enlarged state tableau from scratch — correct for every scheme,
+// but Θ(state size) per call; the paper's algorithms beat exactly this.
+bool WouldRemainConsistent(const DatabaseState& state, size_t rel,
+                           const PartialTuple& tuple);
+
+}  // namespace ird
+
+#endif  // IRD_RELATION_WEAK_INSTANCE_H_

@@ -1,0 +1,56 @@
+// RelationScheme: a named subset of U together with its declared candidate
+// keys (paper §2.1, §2.3). The paper's standing assumption is that a cover
+// of the FDs is embedded in the database scheme as key dependencies, so keys
+// are first-class declarations here, not derived objects.
+
+#ifndef IRD_SCHEMA_RELATION_SCHEME_H_
+#define IRD_SCHEMA_RELATION_SCHEME_H_
+
+#include <string>
+#include <vector>
+
+#include "base/attribute_set.h"
+#include "base/universe.h"
+#include "fd/fd_set.h"
+
+namespace ird {
+
+struct RelationScheme {
+  std::string name;
+  AttributeSet attrs;
+  // Declared candidate keys; each must be a nonempty subset of `attrs`.
+  // Minimality is checked against the *global* key dependencies by
+  // DatabaseScheme::Validate (the paper defines keys wrt the full F).
+  std::vector<AttributeSet> keys;
+
+  RelationScheme() = default;
+  RelationScheme(std::string scheme_name, AttributeSet attributes,
+                 std::vector<AttributeSet> candidate_keys)
+      : name(std::move(scheme_name)),
+        attrs(std::move(attributes)),
+        keys(std::move(candidate_keys)) {}
+
+  // The key dependencies embedded in this scheme: K -> attrs for each key
+  // (paper §2.3: K -> A for every A ∈ R - K; we emit the set form).
+  FdSet KeyDependencies() const {
+    FdSet out;
+    for (const AttributeSet& key : keys) {
+      out.Add(key, attrs);
+    }
+    return out;
+  }
+
+  // True iff `x` contains some declared key.
+  bool ContainsKey(const AttributeSet& x) const {
+    for (const AttributeSet& key : keys) {
+      if (key.IsSubsetOf(x)) return true;
+    }
+    return false;
+  }
+
+  std::string ToString(const Universe& universe) const;
+};
+
+}  // namespace ird
+
+#endif  // IRD_SCHEMA_RELATION_SCHEME_H_

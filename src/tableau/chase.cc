@@ -1,0 +1,120 @@
+#include "tableau/chase.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace ird {
+
+namespace {
+
+// Hash of a canonical symbol vector (bucket key for one FD's left side).
+struct SymVecHash {
+  size_t operator()(const std::vector<SymId>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (SymId s : v) {
+      h ^= s;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+ChaseStats ChaseFds(Tableau* t, const FdSet& fds) {
+  ChaseStats stats;
+  FdSet standard = fds.StandardForm();
+  if (standard.empty() || t->row_count() == 0) return stats;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++stats.passes;
+    for (const FunctionalDependency& fd : standard.fds()) {
+      std::vector<AttributeId> lhs_cols = fd.lhs.ToVector();
+      AttributeId rhs_col = fd.rhs.First();
+      // Bucket rows by their canonical left-side symbols; within a bucket,
+      // all right-side symbols must be equal.
+      std::unordered_map<std::vector<SymId>, SymId, SymVecHash> buckets;
+      buckets.reserve(t->row_count());
+      for (size_t row = 0; row < t->row_count(); ++row) {
+        std::vector<SymId> key;
+        key.reserve(lhs_cols.size());
+        for (AttributeId c : lhs_cols) {
+          key.push_back(t->Cell(row, c));
+        }
+        SymId rhs_sym = t->Cell(row, rhs_col);
+        auto [it, inserted] = buckets.emplace(std::move(key), rhs_sym);
+        if (!inserted) {
+          SymId existing = t->Canonical(it->second);
+          if (existing != rhs_sym) {
+            // Distinct canonical symbols: apply the fd-rule.
+            if (!t->Equate(existing, rhs_sym)) {
+              stats.consistent = false;
+              return stats;
+            }
+            ++stats.rule_applications;
+            changed = true;
+          }
+          it->second = t->Canonical(rhs_sym);
+        }
+      }
+    }
+  }
+  t->Canonicalize();
+  return stats;
+}
+
+Tableau SchemeTableau(const DatabaseScheme& scheme) {
+  Tableau t(scheme.universe().size());
+  for (const RelationScheme& r : scheme.relations()) {
+    t.AddSchemeRow(r.attrs);
+  }
+  return t;
+}
+
+bool IsLosslessByChase(const DatabaseScheme& scheme) {
+  Tableau t = SchemeTableau(scheme);
+  ChaseStats stats = ChaseFds(&t, scheme.key_dependencies());
+  IRD_CHECK_MSG(stats.consistent, "scheme tableaux cannot be inconsistent");
+  AttributeSet all = scheme.AllAttrs();
+  for (size_t row = 0; row < t.row_count(); ++row) {
+    if (all.IsSubsetOf(t.DvColumns(row))) return true;
+  }
+  return false;
+}
+
+size_t MinimizeByConstantSubsumption(Tableau* t) {
+  const size_t n = t->row_count();
+  std::vector<AttributeSet> constant_cols(n);
+  for (size_t i = 0; i < n; ++i) {
+    constant_cols[i] = t->ConstantColumns(i);
+  }
+  std::vector<bool> dead(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j || dead[j] || dead[i]) continue;
+      // Row j subsumes row i if j's constants extend i's. Ties (identical
+      // constant parts) keep the lower index.
+      if (!constant_cols[i].IsSubsetOf(constant_cols[j])) continue;
+      if (constant_cols[i] == constant_cols[j] && j > i) continue;
+      bool agree = true;
+      constant_cols[i].ForEach([&](AttributeId c) {
+        if (agree &&
+            t->ValueOf(t->Cell(i, c)) != t->ValueOf(t->Cell(j, c))) {
+          agree = false;
+        }
+      });
+      if (agree) {
+        dead[i] = true;
+      }
+    }
+  }
+  size_t removed = 0;
+  for (bool d : dead) removed += d ? 1 : 0;
+  if (removed > 0) t->RemoveRows(dead);
+  return removed;
+}
+
+}  // namespace ird

@@ -1,0 +1,49 @@
+// The chase with fd-rules (paper §2.3, after [MMS]): exhaustively equate
+// symbols of a tableau forced equal by the functional dependencies, or
+// discover an inconsistency (two distinct constants forced equal).
+//
+// This module is the library's semantic ground truth: consistency of states,
+// representative instances, losslessness, and every specialized algorithm of
+// the paper are validated against it.
+
+#ifndef IRD_TABLEAU_CHASE_H_
+#define IRD_TABLEAU_CHASE_H_
+
+#include "fd/fd_set.h"
+#include "schema/database_scheme.h"
+#include "tableau/tableau.h"
+
+namespace ird {
+
+struct ChaseStats {
+  // False iff the chase found a contradiction (empty tableau result).
+  bool consistent = true;
+  // Number of symbol merges performed (fd-rule applications that changed
+  // the tableau) — the quantity bounded by "boundedness" (paper §2.5).
+  size_t rule_applications = 0;
+  // Number of full passes over the dependency set.
+  size_t passes = 0;
+};
+
+// Runs CHASE_F(t) in place. On inconsistency the tableau contents are
+// meaningless and stats.consistent is false.
+ChaseStats ChaseFds(Tableau* t, const FdSet& fds);
+
+// The tableau T_R for a database scheme (paper §2.2): one row per relation
+// scheme, dv on its attributes, fresh ndv's elsewhere.
+Tableau SchemeTableau(const DatabaseScheme& scheme);
+
+// Ground-truth lossless test via the chase: CHASE_F(T_R) has a row of all
+// dv's. Semantically identical to DatabaseScheme::IsLossless (which uses the
+// BMSU closure shortcut); kept separate for cross-validation.
+bool IsLosslessByChase(const DatabaseScheme& scheme);
+
+// Minimizes a *chased, consistent* state tableau by dropping rows whose
+// constant part is subsumed by another row's (equal on all constants of the
+// dropped row, defined on a superset). Rows with identical constant parts
+// keep the first occurrence. Returns the number of rows removed.
+size_t MinimizeByConstantSubsumption(Tableau* t);
+
+}  // namespace ird
+
+#endif  // IRD_TABLEAU_CHASE_H_

@@ -1,0 +1,119 @@
+#include "tableau/homomorphism.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace ird {
+
+namespace {
+
+// Backtracking row-assignment search with an incremental symbol binding.
+class HomSearch {
+ public:
+  HomSearch(const Tableau& from, const Tableau& to) : from_(from), to_(to) {}
+
+  bool Run() {
+    IRD_CHECK_MSG(from_.row_count() <= 24,
+                  "homomorphism search is exponential; tableau too large");
+    if (from_.width() != to_.width()) return false;
+    return Assign(0);
+  }
+
+ private:
+  bool Assign(size_t row) {
+    if (row == from_.row_count()) return true;
+    for (size_t target = 0; target < to_.row_count(); ++target) {
+      std::vector<SymId> bound;  // bindings added by this row, for undo
+      if (TryMapRow(row, target, &bound)) {
+        if (Assign(row + 1)) return true;
+      }
+      for (SymId s : bound) {
+        binding_.erase(s);
+      }
+    }
+    return false;
+  }
+
+  bool TryMapRow(size_t row, size_t target, std::vector<SymId>* bound) {
+    for (uint32_t c = 0; c < from_.width(); ++c) {
+      SymId f = from_.Cell(row, c);
+      SymId t = to_.Cell(target, c);
+      switch (from_.KindOf(f)) {
+        case SymbolKind::kConstant:
+          // Constants are fixed: the target cell must hold the same value.
+          if (!to_.IsConstant(t) || to_.ValueOf(t) != from_.ValueOf(f)) {
+            Undo(bound);
+            return false;
+          }
+          break;
+        case SymbolKind::kDistinguished:
+          // The dv of a column maps to the dv of the same column.
+          if (to_.KindOf(t) != SymbolKind::kDistinguished) {
+            Undo(bound);
+            return false;
+          }
+          break;
+        case SymbolKind::kNondistinguished: {
+          auto it = binding_.find(f);
+          if (it != binding_.end()) {
+            if (it->second != t) {
+              Undo(bound);
+              return false;
+            }
+          } else {
+            binding_.emplace(f, t);
+            bound->push_back(f);
+          }
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  void Undo(std::vector<SymId>* bound) {
+    for (SymId s : *bound) {
+      binding_.erase(s);
+    }
+    bound->clear();
+  }
+
+  const Tableau& from_;
+  const Tableau& to_;
+  // ndv of `from_` -> symbol of `to_` (any kind).
+  std::unordered_map<SymId, SymId> binding_;
+};
+
+}  // namespace
+
+bool HomomorphismExists(const Tableau& from, const Tableau& to) {
+  return HomSearch(from, to).Run();
+}
+
+bool AreEquivalentTableaux(const Tableau& a, const Tableau& b) {
+  return HomomorphismExists(a, b) && HomomorphismExists(b, a);
+}
+
+size_t MinimizeTableau(Tableau* t) {
+  size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t victim = 0; victim < t->row_count(); ++victim) {
+      // Build the candidate without `victim` by flagging it dead.
+      Tableau candidate = *t;
+      std::vector<bool> dead(t->row_count(), false);
+      dead[victim] = true;
+      candidate.RemoveRows(dead);
+      if (HomomorphismExists(*t, candidate)) {
+        *t = std::move(candidate);
+        ++removed;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace ird

@@ -1,0 +1,35 @@
+// Tableau homomorphisms, containment and minimization (paper §2.2, after
+// [ASU]): a homomorphism from T1 to T2 maps symbols so that constants and
+// distinguished variables are fixed and every row of T1 lands on a row of
+// T2; its existence means T2's result is contained in T1's on every
+// database. Two tableaux are equivalent iff homomorphisms exist both ways;
+// a tableau is minimized by dropping rows while equivalence holds.
+//
+// Row-mapping search is exponential in the worst case (tableau containment
+// is NP-complete); intended for the small tableaux of dependency-theory
+// reasoning and for validating the specialized minimizers.
+
+#ifndef IRD_TABLEAU_HOMOMORPHISM_H_
+#define IRD_TABLEAU_HOMOMORPHISM_H_
+
+#include "tableau/tableau.h"
+
+namespace ird {
+
+// True iff a homomorphism maps `from` into `to`: each row of `from` onto
+// some row of `to` under a single symbol mapping that fixes constants and
+// distinguished variables. Guarded at 24 rows in `from`.
+bool HomomorphismExists(const Tableau& from, const Tableau& to);
+
+// Equivalence: homomorphisms in both directions.
+bool AreEquivalentTableaux(const Tableau& a, const Tableau& b);
+
+// Greedy minimization: repeatedly drops a row whose removal leaves an
+// equivalent tableau (a subset is always homomorphic into the original, so
+// only the original → subset direction needs checking). Returns the number
+// of rows removed.
+size_t MinimizeTableau(Tableau* t);
+
+}  // namespace ird
+
+#endif  // IRD_TABLEAU_HOMOMORPHISM_H_

@@ -1,0 +1,94 @@
+#include "tableau/lossless.h"
+
+#include "tableau/chase.h"
+
+namespace ird {
+
+bool IsLosslessSubset(const DatabaseScheme& scheme,
+                      const std::vector<size_t>& subset,
+                      const FdSet& ambient_fds) {
+  if (subset.empty()) return false;
+  Tableau t(scheme.universe().size());
+  AttributeSet all;
+  for (size_t i : subset) {
+    t.AddSchemeRow(scheme.relation(i).attrs);
+    all.UnionWith(scheme.relation(i).attrs);
+  }
+  ChaseStats stats = ChaseFds(&t, ambient_fds);
+  IRD_CHECK_MSG(stats.consistent, "scheme tableaux cannot be inconsistent");
+  for (size_t row = 0; row < t.row_count(); ++row) {
+    if (all.IsSubsetOf(t.DvColumns(row))) return true;
+  }
+  return false;
+}
+
+bool IsLosslessSubset(const DatabaseScheme& scheme,
+                      const std::vector<size_t>& subset) {
+  return IsLosslessSubset(scheme, subset, scheme.key_dependencies());
+}
+
+std::vector<std::vector<size_t>> MinimalLosslessSubsetsCovering(
+    const DatabaseScheme& scheme, const std::vector<size_t>& pool,
+    const AttributeSet& x, const FdSet& ambient_fds) {
+  IRD_CHECK_MSG(pool.size() <= 20,
+                "lossless-subset enumeration is exponential; pool too large");
+  const size_t n = pool.size();
+  std::vector<uint64_t> qualifying;  // bitmask over pool positions
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    std::vector<size_t> subset;
+    for (size_t b = 0; b < n; ++b) {
+      if ((mask >> b) & 1) subset.push_back(pool[b]);
+    }
+    if (!x.IsSubsetOf(scheme.UnionAttrs(subset))) continue;
+    if (IsLosslessSubset(scheme, subset, ambient_fds)) {
+      qualifying.push_back(mask);
+    }
+  }
+  // Keep only masks with no qualifying proper subset.
+  std::vector<std::vector<size_t>> out;
+  for (uint64_t mask : qualifying) {
+    bool minimal = true;
+    for (uint64_t other : qualifying) {
+      if (other != mask && (other & mask) == other) {
+        minimal = false;
+        break;
+      }
+    }
+    if (!minimal) continue;
+    std::vector<size_t> subset;
+    for (size_t b = 0; b < n; ++b) {
+      if ((mask >> b) & 1) subset.push_back(pool[b]);
+    }
+    out.push_back(std::move(subset));
+  }
+  return out;
+}
+
+std::vector<std::vector<size_t>> MinimalLosslessSubsetsCovering(
+    const DatabaseScheme& scheme, const std::vector<size_t>& pool,
+    const AttributeSet& x) {
+  return MinimalLosslessSubsetsCovering(scheme, pool, x,
+                                        scheme.key_dependencies());
+}
+
+std::vector<std::vector<size_t>> AllLosslessSubsetsCovering(
+    const DatabaseScheme& scheme, const std::vector<size_t>& pool,
+    const AttributeSet& x, const FdSet& ambient_fds) {
+  IRD_CHECK_MSG(pool.size() <= 20,
+                "lossless-subset enumeration is exponential; pool too large");
+  const size_t n = pool.size();
+  std::vector<std::vector<size_t>> out;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    std::vector<size_t> subset;
+    for (size_t b = 0; b < n; ++b) {
+      if ((mask >> b) & 1) subset.push_back(pool[b]);
+    }
+    if (!x.IsSubsetOf(scheme.UnionAttrs(subset))) continue;
+    if (IsLosslessSubset(scheme, subset, ambient_fds)) {
+      out.push_back(std::move(subset));
+    }
+  }
+  return out;
+}
+
+}  // namespace ird

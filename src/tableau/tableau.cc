@@ -1,0 +1,203 @@
+#include "tableau/tableau.h"
+
+#include <algorithm>
+
+namespace ird {
+
+namespace {
+constexpr SymId kNoSymId = static_cast<SymId>(-1);
+}  // namespace
+
+SymId Tableau::NewSymbol(SymbolKind kind, Value aux) {
+  SymId id = static_cast<SymId>(symbols_.size());
+  symbols_.push_back(SymbolInfo{kind, aux, id});
+  return id;
+}
+
+SymId Tableau::Constant(Value value) {
+  auto it = constant_cache_.find(value);
+  if (it != constant_cache_.end()) return it->second;
+  SymId id = NewSymbol(SymbolKind::kConstant, value);
+  constant_cache_.emplace(value, id);
+  return id;
+}
+
+SymId Tableau::Dv(uint32_t column) {
+  IRD_CHECK(column < width_);
+  if (dv_cache_.size() < width_) {
+    dv_cache_.resize(width_, kNoSymId);
+  }
+  if (dv_cache_[column] == kNoSymId) {
+    dv_cache_[column] =
+        NewSymbol(SymbolKind::kDistinguished, static_cast<Value>(column));
+  }
+  return dv_cache_[column];
+}
+
+SymId Tableau::FreshNdv() {
+  return NewSymbol(SymbolKind::kNondistinguished,
+                   static_cast<Value>(symbols_.size()));
+}
+
+size_t Tableau::AddRow(std::vector<SymId> cells) {
+  IRD_CHECK(cells.size() == width_);
+  rows_.push_back(std::move(cells));
+  return rows_.size() - 1;
+}
+
+size_t Tableau::AddSchemeRow(const AttributeSet& scheme_attrs) {
+  std::vector<SymId> cells(width_);
+  for (uint32_t c = 0; c < width_; ++c) {
+    cells[c] = scheme_attrs.Contains(c) ? Dv(c) : FreshNdv();
+  }
+  return AddRow(std::move(cells));
+}
+
+size_t Tableau::AddTupleRow(const AttributeSet& scheme_attrs,
+                            const std::vector<Value>& values) {
+  IRD_CHECK(values.size() == scheme_attrs.Count());
+  std::vector<SymId> cells(width_, kNoSymId);
+  size_t vi = 0;
+  scheme_attrs.ForEach([&](AttributeId a) {
+    IRD_CHECK(a < width_);
+    cells[a] = Constant(values[vi++]);
+  });
+  for (uint32_t c = 0; c < width_; ++c) {
+    if (cells[c] == kNoSymId) cells[c] = FreshNdv();
+  }
+  return AddRow(std::move(cells));
+}
+
+SymId Tableau::Find(SymId s) const {
+  // Path halving; symbols_ is conceptually mutable state of the union-find.
+  auto& symbols = const_cast<std::vector<SymbolInfo>&>(symbols_);
+  while (symbols[s].parent != s) {
+    symbols[s].parent = symbols[symbols[s].parent].parent;
+    s = symbols[s].parent;
+  }
+  return s;
+}
+
+bool Tableau::Equate(SymId a, SymId b) {
+  SymId ra = Find(a);
+  SymId rb = Find(b);
+  if (ra == rb) return true;
+  const SymbolInfo& sa = symbols_[ra];
+  const SymbolInfo& sb = symbols_[rb];
+  // Precedence (paper §2.3 fd-rule): constants absorb everything but clash
+  // with different constants; dv absorbs ndv; among ndv's the lower birth id
+  // wins ("rename the variable with the higher subscript").
+  auto rank = [](const SymbolInfo& s) {
+    switch (s.kind) {
+      case SymbolKind::kConstant:
+        return 2;
+      case SymbolKind::kDistinguished:
+        return 1;
+      case SymbolKind::kNondistinguished:
+        return 0;
+    }
+    return 0;
+  };
+  if (sa.kind == SymbolKind::kConstant && sb.kind == SymbolKind::kConstant) {
+    return sa.aux == sb.aux;  // equal constants merge trivially; else clash
+  }
+  SymId winner;
+  SymId loser;
+  if (rank(sa) != rank(sb)) {
+    winner = rank(sa) > rank(sb) ? ra : rb;
+    loser = winner == ra ? rb : ra;
+  } else if (sa.kind == SymbolKind::kNondistinguished) {
+    winner = sa.aux <= sb.aux ? ra : rb;
+    loser = winner == ra ? rb : ra;
+  } else {
+    // Two dv's of different columns can only be equated by a buggy caller:
+    // fd-rules equate symbols within one column, and each column has one dv.
+    IRD_CHECK_MSG(sa.aux == sb.aux, "equating dv's of different columns");
+    winner = ra;
+    loser = rb;
+  }
+  symbols_[loser].parent = winner;
+  return true;
+}
+
+AttributeSet Tableau::ConstantColumns(size_t row) const {
+  AttributeSet out;
+  for (uint32_t c = 0; c < width_; ++c) {
+    if (IsConstant(rows_[row][c])) out.Add(c);
+  }
+  return out;
+}
+
+AttributeSet Tableau::DvColumns(size_t row) const {
+  AttributeSet out;
+  for (uint32_t c = 0; c < width_; ++c) {
+    if (KindOf(rows_[row][c]) == SymbolKind::kDistinguished) out.Add(c);
+  }
+  return out;
+}
+
+bool Tableau::TotalOn(size_t row, const AttributeSet& x) const {
+  bool total = true;
+  x.ForEach([&](AttributeId a) {
+    if (!IsConstant(rows_[row][a])) total = false;
+  });
+  return total;
+}
+
+std::vector<Value> Tableau::ValuesOn(size_t row, const AttributeSet& x) const {
+  std::vector<Value> out;
+  out.reserve(x.Count());
+  x.ForEach([&](AttributeId a) { out.push_back(ValueOf(rows_[row][a])); });
+  return out;
+}
+
+void Tableau::RemoveRows(const std::vector<bool>& dead) {
+  IRD_CHECK(dead.size() == rows_.size());
+  size_t keep = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!dead[i]) {
+      if (keep != i) rows_[keep] = std::move(rows_[i]);
+      ++keep;
+    }
+  }
+  rows_.resize(keep);
+}
+
+void Tableau::Canonicalize() {
+  for (auto& row : rows_) {
+    for (SymId& cell : row) {
+      cell = Find(cell);
+    }
+  }
+}
+
+std::string Tableau::ToString(const Universe& universe) const {
+  std::string out;
+  for (uint32_t c = 0; c < width_; ++c) {
+    out += universe.Name(c);
+    out += "\t";
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (uint32_t c = 0; c < width_; ++c) {
+      SymId s = Find(row[c]);
+      const SymbolInfo& info = symbols_[s];
+      switch (info.kind) {
+        case SymbolKind::kConstant:
+          out += "c" + std::to_string(info.aux);
+          break;
+        case SymbolKind::kDistinguished:
+          out += "a" + std::to_string(info.aux);
+          break;
+        case SymbolKind::kNondistinguished:
+          out += "b" + std::to_string(info.aux);
+          break;
+      }
+      out += "\t";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ird

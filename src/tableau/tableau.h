@@ -1,0 +1,157 @@
+// Tableaux (paper §2.2): matrices of symbols over the universe U. Each
+// column corresponds to an attribute; a cell holds a constant, the column's
+// distinguished variable (dv) a_i, or a nondistinguished variable (ndv)
+// b_ij. Tableaux are the substrate of the chase (paper §2.3) and of the
+// weak instance model (paper §2.5).
+//
+// Symbols live in a per-tableau symbol table with union-find equating, so
+// an fd-rule application is a near-O(1) merge. Precedence when merging two
+// classes follows the paper: constant beats dv beats ndv; two distinct
+// constants are an inconsistency; ndv with the lower id wins among ndv's.
+
+#ifndef IRD_TABLEAU_TABLEAU_H_
+#define IRD_TABLEAU_TABLEAU_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/attribute_set.h"
+#include "base/check.h"
+#include "base/universe.h"
+
+namespace ird {
+
+// A constant value. Domains are integers; the io module maps readable
+// constant names onto them. (Domains for different attributes are assumed
+// disjoint in the paper; the library does not need to enforce this.)
+using Value = int64_t;
+
+// Index into a Tableau's symbol table.
+using SymId = uint32_t;
+
+enum class SymbolKind : uint8_t {
+  kConstant,
+  kDistinguished,     // the dv a_i of one column
+  kNondistinguished,  // a ndv b_ij
+};
+
+class Tableau {
+ public:
+  // A tableau over columns 0..width-1 (usually |U|).
+  explicit Tableau(size_t width) : width_(width) {}
+
+  Tableau(const Tableau&) = default;
+  Tableau& operator=(const Tableau&) = default;
+  Tableau(Tableau&&) = default;
+  Tableau& operator=(Tableau&&) = default;
+
+  size_t width() const { return width_; }
+  size_t row_count() const { return rows_.size(); }
+
+  // --- Symbol construction -------------------------------------------------
+
+  // The constant symbol for `value` (deduplicated).
+  SymId Constant(Value value);
+  // The distinguished variable of `column` (one per column).
+  SymId Dv(uint32_t column);
+  // A fresh nondistinguished variable.
+  SymId FreshNdv();
+
+  // --- Row construction ----------------------------------------------------
+
+  // Appends a row; `cells` must have exactly width() entries. Returns the
+  // row index.
+  size_t AddRow(std::vector<SymId> cells);
+
+  // Appends the canonical scheme-tableau row for `scheme_attrs`: dv on the
+  // scheme's columns, fresh ndv elsewhere.
+  size_t AddSchemeRow(const AttributeSet& scheme_attrs);
+
+  // Appends a state-tableau row: the given (column, value) constants on
+  // `scheme_attrs`, fresh ndv elsewhere. `values` are aligned with the
+  // increasing-order attributes of `scheme_attrs`.
+  size_t AddTupleRow(const AttributeSet& scheme_attrs,
+                     const std::vector<Value>& values);
+
+  // --- Symbol inspection (always through the union-find root) --------------
+
+  // Canonical symbol currently in (row, column).
+  SymId Cell(size_t row, uint32_t column) const {
+    return Find(rows_[row][column]);
+  }
+
+  // Canonical representative of s's equivalence class.
+  SymId Canonical(SymId s) const { return Find(s); }
+
+  SymbolKind KindOf(SymId s) const { return symbols_[Find(s)].kind; }
+  bool IsConstant(SymId s) const {
+    return KindOf(s) == SymbolKind::kConstant;
+  }
+  // The value of a constant symbol.
+  Value ValueOf(SymId s) const {
+    SymId r = Find(s);
+    IRD_CHECK(symbols_[r].kind == SymbolKind::kConstant);
+    return symbols_[r].aux;
+  }
+  // The column of a dv symbol.
+  uint32_t ColumnOf(SymId s) const {
+    SymId r = Find(s);
+    IRD_CHECK(symbols_[r].kind == SymbolKind::kDistinguished);
+    return static_cast<uint32_t>(symbols_[r].aux);
+  }
+
+  // --- Equating (the fd-rule's renaming step) -------------------------------
+
+  // Merges the classes of a and b per the paper's precedence. Returns false
+  // iff both are constants with different values (an inconsistency).
+  [[nodiscard]] bool Equate(SymId a, SymId b);
+
+  // --- Row-level queries -----------------------------------------------------
+
+  // Columns of `row` currently holding constants.
+  AttributeSet ConstantColumns(size_t row) const;
+  // Columns of `row` currently holding distinguished variables.
+  AttributeSet DvColumns(size_t row) const;
+  // True iff `row` is total (all constants) on every column of x.
+  bool TotalOn(size_t row, const AttributeSet& x) const;
+  // The constant values of `row` on x (which must be total on x), aligned
+  // with increasing column order.
+  std::vector<Value> ValuesOn(size_t row, const AttributeSet& x) const;
+
+  // Drops rows whose index is flagged in `dead` (used by minimization).
+  void RemoveRows(const std::vector<bool>& dead);
+
+  // Rewrites every cell to its canonical symbol (clean snapshot after a
+  // chase; purely cosmetic for performance of later scans).
+  void Canonicalize();
+
+  // Debug rendering with attribute names from `universe`; constants print
+  // as c<value>, dv as a<col>, ndv as b<id>.
+  std::string ToString(const Universe& universe) const;
+
+ private:
+  struct SymbolInfo {
+    SymbolKind kind;
+    // kConstant: the value. kDistinguished: the column. kNondistinguished:
+    // the birth id (lower wins when merging two ndv classes).
+    Value aux;
+    // Union-find parent (self for roots).
+    SymId parent;
+  };
+
+  SymId Find(SymId s) const;
+  SymId NewSymbol(SymbolKind kind, Value aux);
+
+  size_t width_;
+  std::vector<SymbolInfo> symbols_;
+  std::vector<std::vector<SymId>> rows_;
+  // Caches for deduplicated constants and per-column dv's.
+  std::unordered_map<Value, SymId> constant_cache_;
+  std::vector<SymId> dv_cache_;  // indexed by column; kNoSymId if absent
+};
+
+}  // namespace ird
+
+#endif  // IRD_TABLEAU_TABLEAU_H_

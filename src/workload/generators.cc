@@ -1,0 +1,393 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <string>
+
+#include "fd/key_finder.h"
+
+namespace ird {
+
+namespace {
+
+std::string AttrName(const std::string& stem, size_t i) {
+  return stem + std::to_string(i);
+}
+
+}  // namespace
+
+DatabaseScheme MakeChainScheme(size_t n) {
+  IRD_CHECK(n >= 1);
+  DatabaseScheme scheme = DatabaseScheme::Create();
+  auto& u = *scheme.universe_ptr();
+  std::vector<AttributeId> a(n + 1);
+  for (size_t i = 0; i <= n; ++i) {
+    a[i] = u.Intern(AttrName("A", i + 1));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    RelationScheme r;
+    r.name = "R" + std::to_string(i + 1);
+    r.attrs = AttributeSet{a[i], a[i + 1]};
+    r.keys = {AttributeSet{a[i]}, AttributeSet{a[i + 1]}};
+    scheme.AddRelation(std::move(r));
+  }
+  return scheme;
+}
+
+DatabaseScheme MakeSplitScheme(size_t k) {
+  IRD_CHECK(k >= 2);
+  DatabaseScheme scheme = DatabaseScheme::Create();
+  auto& u = *scheme.universe_ptr();
+  AttributeId a = u.Intern("A");
+  AttributeId e = u.Intern("E");
+  AttributeId d = u.Intern("D");
+  std::vector<AttributeId> b(k);
+  AttributeSet all_b;
+  for (size_t i = 0; i < k; ++i) {
+    b[i] = u.Intern(AttrName("B", i + 1));
+    all_b.Add(b[i]);
+  }
+  RelationScheme rae;
+  rae.name = "RAE";
+  rae.attrs = AttributeSet{a, e};
+  rae.keys = {AttributeSet{a}, AttributeSet{e}};
+  scheme.AddRelation(std::move(rae));
+  for (size_t i = 0; i < k; ++i) {
+    RelationScheme rab;
+    rab.name = "RAB" + std::to_string(i + 1);
+    rab.attrs = AttributeSet{a, b[i]};
+    rab.keys = {AttributeSet{a}};
+    scheme.AddRelation(std::move(rab));
+    RelationScheme reb;
+    reb.name = "REB" + std::to_string(i + 1);
+    reb.attrs = AttributeSet{e, b[i]};
+    reb.keys = {AttributeSet{e}};
+    scheme.AddRelation(std::move(reb));
+  }
+  RelationScheme rbd;
+  rbd.name = "RBD";
+  rbd.attrs = all_b;
+  rbd.attrs.Add(d);
+  rbd.keys = {all_b, AttributeSet{d}};
+  scheme.AddRelation(std::move(rbd));
+  RelationScheme rda;
+  rda.name = "RDA";
+  rda.attrs = AttributeSet{d, a};
+  rda.keys = {AttributeSet{d}, AttributeSet{a}};
+  scheme.AddRelation(std::move(rda));
+  return scheme;
+}
+
+DatabaseScheme MakeIndependentScheme(size_t m) {
+  IRD_CHECK(m >= 1);
+  DatabaseScheme scheme = DatabaseScheme::Create();
+  auto& u = *scheme.universe_ptr();
+  std::vector<AttributeId> key(m);
+  std::vector<AttributeId> payload(m);
+  for (size_t i = 0; i < m; ++i) {
+    key[i] = u.Intern(AttrName("K", i + 1));
+    payload[i] = u.Intern(AttrName("P", i + 1));
+  }
+  for (size_t i = 0; i < m; ++i) {
+    RelationScheme r;
+    r.name = "R" + std::to_string(i + 1);
+    r.attrs = AttributeSet{key[i], payload[i]};
+    if (i + 1 < m) r.attrs.Add(key[i + 1]);
+    r.keys = {AttributeSet{key[i]}};
+    scheme.AddRelation(std::move(r));
+  }
+  return scheme;
+}
+
+DatabaseScheme MakeBlockScheme(size_t blocks, size_t block_size) {
+  IRD_CHECK(blocks >= 1 && block_size >= 2);
+  DatabaseScheme scheme = DatabaseScheme::Create();
+  auto& u = *scheme.universe_ptr();
+  // Block i owns attributes X_{i,1}..X_{i,block_size}; its relations are a
+  // chain with bidirectional singleton keys (block_size - 1 relations) plus
+  // a bridge relation {X_{i,1}, X_{i+1,1}} with one-way key {X_{i,1}}.
+  std::vector<std::vector<AttributeId>> x(blocks);
+  for (size_t i = 0; i < blocks; ++i) {
+    x[i].resize(block_size);
+    for (size_t j = 0; j < block_size; ++j) {
+      x[i][j] = u.Intern("X" + std::to_string(i + 1) + "_" +
+                         std::to_string(j + 1));
+    }
+  }
+  for (size_t i = 0; i < blocks; ++i) {
+    for (size_t j = 0; j + 1 < block_size; ++j) {
+      RelationScheme r;
+      r.name = "B" + std::to_string(i + 1) + "R" + std::to_string(j + 1);
+      r.attrs = AttributeSet{x[i][j], x[i][j + 1]};
+      r.keys = {AttributeSet{x[i][j]}, AttributeSet{x[i][j + 1]}};
+      scheme.AddRelation(std::move(r));
+    }
+    if (i + 1 < blocks) {
+      RelationScheme bridge;
+      bridge.name = "B" + std::to_string(i + 1) + "bridge";
+      bridge.attrs = AttributeSet{x[i][0], x[i + 1][0]};
+      bridge.keys = {AttributeSet{x[i][0]}};
+      scheme.AddRelation(std::move(bridge));
+    }
+  }
+  return scheme;
+}
+
+DatabaseScheme MakeStarScheme(size_t n) {
+  IRD_CHECK(n >= 1);
+  DatabaseScheme scheme = DatabaseScheme::Create();
+  auto& u = *scheme.universe_ptr();
+  AttributeId c = u.Intern("C");
+  for (size_t i = 0; i < n; ++i) {
+    AttributeId a = u.Intern(AttrName("A", i + 1));
+    RelationScheme r;
+    r.name = "R" + std::to_string(i + 1);
+    r.attrs = AttributeSet{c, a};
+    r.keys = {AttributeSet{c}};
+    scheme.AddRelation(std::move(r));
+  }
+  return scheme;
+}
+
+DatabaseScheme MakeTreeScheme(size_t nodes, double bidirectional,
+                              uint64_t seed) {
+  IRD_CHECK(nodes >= 2);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  DatabaseScheme scheme = DatabaseScheme::Create();
+  auto& u = *scheme.universe_ptr();
+  std::vector<AttributeId> attr(nodes);
+  for (size_t i = 0; i < nodes; ++i) {
+    attr[i] = u.Intern(AttrName("N", i + 1));
+  }
+  // Random recursive tree: node i attaches to a uniform earlier node.
+  for (size_t child = 1; child < nodes; ++child) {
+    size_t parent = rng() % child;
+    RelationScheme r;
+    r.name = "E" + std::to_string(child);
+    r.attrs = AttributeSet{attr[parent], attr[child]};
+    r.keys = {AttributeSet{attr[parent]}};
+    if (coin(rng) < bidirectional) {
+      r.keys.push_back(AttributeSet{attr[child]});
+    }
+    scheme.AddRelation(std::move(r));
+  }
+  return scheme;
+}
+
+namespace {
+
+// The universal tuple of entity `e`: globally fresh values per attribute.
+Value EntityValue(size_t entity, size_t universe_size, AttributeId a) {
+  return static_cast<Value>(entity * universe_size + a + 1);
+}
+
+PartialTuple ProjectEntity(const DatabaseScheme& scheme, size_t rel,
+                           size_t entity) {
+  const AttributeSet& attrs = scheme.relation(rel).attrs;
+  std::vector<Value> values;
+  values.reserve(attrs.Count());
+  attrs.ForEach([&](AttributeId a) {
+    values.push_back(EntityValue(entity, scheme.universe().size(), a));
+  });
+  return PartialTuple(attrs, std::move(values));
+}
+
+}  // namespace
+
+DatabaseState MakeConsistentState(const DatabaseScheme& scheme,
+                                  const StateGenOptions& options) {
+  DatabaseState state(scheme);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (size_t e = 0; e < options.entities; ++e) {
+    bool placed = false;
+    for (size_t rel = 0; rel < scheme.size(); ++rel) {
+      if (coin(rng) <= options.coverage) {
+        state.mutable_relation(rel).AddUnique(
+            ProjectEntity(scheme, rel, e));
+        placed = true;
+      }
+    }
+    if (!placed) {
+      // Guarantee every entity appears somewhere, so insert streams can
+      // reference it.
+      size_t rel = rng() % scheme.size();
+      state.mutable_relation(rel).AddUnique(ProjectEntity(scheme, rel, e));
+    }
+  }
+  return state;
+}
+
+std::vector<InsertInstance> MakeInsertStream(const DatabaseScheme& scheme,
+                                             const DatabaseState& state,
+                                             size_t count,
+                                             double conflict_rate,
+                                             uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  // Entities already materialized per relation (rel -> entity ids), for
+  // conflicting inserts that must collide with existing key values.
+  std::vector<std::vector<size_t>> present(scheme.size());
+  size_t universe_size = scheme.universe().size();
+  for (size_t rel = 0; rel < scheme.size(); ++rel) {
+    for (const PartialTuple& t : state.relation(rel).tuples()) {
+      AttributeId first = t.attrs().First();
+      size_t entity =
+          static_cast<size_t>(t.At(first) - 1 - first) / universe_size;
+      present[rel].push_back(entity);
+    }
+  }
+  size_t fresh_entity = 1u << 20;  // far above the state's entity ids
+  std::vector<InsertInstance> stream;
+  stream.reserve(count);
+  for (size_t n = 0; n < count; ++n) {
+    size_t rel = rng() % scheme.size();
+    bool conflict = coin(rng) < conflict_rate && !present[rel].empty() &&
+                    scheme.relation(rel).attrs.Count() >
+                        scheme.relation(rel).keys.front().Count();
+    if (conflict) {
+      // Key values of an existing entity, fresh values elsewhere: the new
+      // tuple contradicts that entity's materialized tuple.
+      size_t victim = present[rel][rng() % present[rel].size()];
+      const RelationScheme& r = scheme.relation(rel);
+      const AttributeSet& key = r.keys.front();
+      std::vector<Value> values;
+      r.attrs.ForEach([&](AttributeId a) {
+        values.push_back(key.Contains(a)
+                             ? EntityValue(victim, universe_size, a)
+                             : EntityValue(fresh_entity, universe_size, a));
+      });
+      stream.push_back(InsertInstance{
+          rel, PartialTuple(r.attrs, std::move(values)), false});
+      ++fresh_entity;
+    } else {
+      stream.push_back(InsertInstance{
+          rel, ProjectEntity(scheme, rel, fresh_entity), true});
+      ++fresh_entity;
+    }
+  }
+  return stream;
+}
+
+DatabaseScheme MakeRandomScheme(const RandomSchemeOptions& options) {
+  IRD_CHECK(options.universe_size >= 2);
+  IRD_CHECK(options.min_arity >= 2 &&
+            options.min_arity <= options.max_arity &&
+            options.max_arity <= options.universe_size);
+  std::mt19937_64 rng(options.seed);
+  DatabaseScheme scheme = DatabaseScheme::Create();
+  auto& u = *scheme.universe_ptr();
+  std::vector<AttributeId> attrs(options.universe_size);
+  for (size_t i = 0; i < options.universe_size; ++i) {
+    attrs[i] = u.Intern(AttrName("A", i + 1));
+  }
+  std::vector<AttributeSet> seen;
+  std::vector<AttributeSet> attr_sets;
+  for (size_t rel = 0; rel < options.relations; ++rel) {
+    AttributeSet set;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      set = AttributeSet();
+      size_t arity = options.min_arity +
+                     rng() % (options.max_arity - options.min_arity + 1);
+      // Round-robin anchor guarantees the union covers the universe.
+      set.Add(attrs[rel % options.universe_size]);
+      while (set.Count() < arity) {
+        set.Add(attrs[rng() % options.universe_size]);
+      }
+      bool duplicate = false;
+      for (const AttributeSet& s : seen) {
+        if (s == set) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) break;
+    }
+    seen.push_back(set);
+    attr_sets.push_back(set);
+  }
+  // The union of the relation schemes must equal the universe: stuff any
+  // uncovered attribute into a random relation.
+  AttributeSet covered;
+  for (const AttributeSet& s : attr_sets) covered.UnionWith(s);
+  for (AttributeId a : attrs) {
+    if (!covered.Contains(a)) {
+      attr_sets[rng() % attr_sets.size()].Add(a);
+    }
+  }
+  // Stuffing can create duplicate attribute sets; perturb later duplicates
+  // by widening them (bounded retries; ties are left as-is in the rare
+  // saturated case and show up in Validate()).
+  for (size_t i = 0; i < attr_sets.size(); ++i) {
+    for (size_t j = i + 1; j < attr_sets.size(); ++j) {
+      int retries = 8;
+      while (attr_sets[i] == attr_sets[j] &&
+             attr_sets[j].Count() < options.universe_size && retries-- > 0) {
+        attr_sets[j].Add(attrs[rng() % options.universe_size]);
+      }
+    }
+  }
+  for (size_t rel = 0; rel < attr_sets.size(); ++rel) {
+    RelationScheme r;
+    r.name = "R" + std::to_string(rel + 1);
+    r.attrs = attr_sets[rel];
+    // Random initial key: a nonempty random subset.
+    AttributeSet key;
+    std::vector<AttributeId> members = r.attrs.ToVector();
+    for (AttributeId a : members) {
+      if (rng() % 2 == 0) key.Add(a);
+    }
+    if (key.Empty()) key.Add(members[rng() % members.size()]);
+    r.keys = {key};
+    scheme.AddRelation(std::move(r));
+  }
+  // Make every declared key minimal wrt the global F. Shrinking one key can
+  // invalidate another's minimality, so iterate to a fixpoint (keys only
+  // shrink, so this terminates).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const FdSet f = scheme.key_dependencies();
+    DatabaseScheme next(scheme.universe_ptr());
+    for (const RelationScheme& r : scheme.relations()) {
+      RelationScheme shrunk = r;
+      AttributeSet reduced = ReduceToKey(r.keys.front(), r.attrs, f);
+      if (reduced != r.keys.front()) changed = true;
+      shrunk.keys = {reduced};
+      next.AddRelation(std::move(shrunk));
+    }
+    scheme = std::move(next);
+  }
+  // Optional second candidate keys. An addition changes F, which can
+  // invalidate another declared key's minimality — verify everything and
+  // roll back the addition if so.
+  if (options.multi_key_prob > 0) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    for (size_t rel = 0; rel < scheme.size(); ++rel) {
+      if (coin(rng) >= options.multi_key_prob) continue;
+      std::vector<AttributeSet> candidates = FindCandidateKeys(
+          scheme.relation(rel).attrs, scheme.key_dependencies());
+      std::vector<AttributeSet> fresh;
+      for (const AttributeSet& c : candidates) {
+        if (c != scheme.relation(rel).keys.front()) fresh.push_back(c);
+      }
+      if (fresh.empty()) continue;
+      // Rebuild with the extra key (DatabaseScheme relations are
+      // append-only, so copy relations across).
+      DatabaseScheme next(scheme.universe_ptr());
+      for (size_t r2 = 0; r2 < scheme.size(); ++r2) {
+        RelationScheme r = scheme.relation(r2);
+        if (r2 == rel) {
+          r.keys.push_back(fresh[rng() % fresh.size()]);
+        }
+        next.AddRelation(std::move(r));
+      }
+      if (next.Validate().ok()) {
+        scheme = std::move(next);
+      }
+    }
+  }
+  return scheme;
+}
+
+}  // namespace ird

@@ -1,0 +1,120 @@
+// Parameterized scheme and state generators driving the test-suite property
+// sweeps and the benchmark experiments (EXPERIMENTS.md). Every generator
+// documents which class the output lands in; the containment tests of
+// Section 5 rely on these guarantees (and re-verify them).
+
+#ifndef IRD_WORKLOAD_GENERATORS_H_
+#define IRD_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "relation/database_state.h"
+#include "schema/database_scheme.h"
+
+namespace ird {
+
+// --- Scheme families -------------------------------------------------------
+
+// Example 9 generalized: a chain R_i(A_i A_{i+1}) with keys {A_i} and
+// {A_{i+1}}, i = 1..n. Key-equivalent, split-free (all keys are single
+// attributes), hence ctm. n >= 1.
+DatabaseScheme MakeChainScheme(size_t n);
+
+// Example 5 generalized: universe {A, E, D, B_1..B_k}; relations
+//   R(A E)                keys {A}, {E}
+//   R(A B_i), R(E B_i)    keys {A} / {E}            (i = 1..k)
+//   R(B_1..B_k D)         keys {B_1..B_k}, {D}
+//   R(D A)                keys {D}, {A}
+// Key-equivalent; the key {B_1..B_k} is split (coverable by the AB_i/EB_i
+// schemes, none of which contains it), so the scheme is NOT ctm. k >= 2.
+DatabaseScheme MakeSplitScheme(size_t k);
+
+// A cover-embedding BCNF *independent* scheme: a "snowflake" of m
+// relations R_i(K_i K_{i+1} P_i) with single key {K_i} (the last relation
+// has no K_{m+1}). Satisfies the uniqueness condition; every KEP block is a
+// singleton. m >= 1.
+DatabaseScheme MakeIndependentScheme(size_t m);
+
+// An independence-reducible scheme with `blocks` key-equivalent blocks of
+// `block_size` relations each (block i is a MakeChainScheme-style cycle on
+// its own attributes), linked by bridge attributes: block i's first scheme
+// carries a one-way key dependency onto block i+1's bridge attribute
+// (as Example 11 links ABCD to DEFG through D). blocks >= 1, block_size >= 2.
+DatabaseScheme MakeBlockScheme(size_t blocks, size_t block_size);
+
+// A γ-acyclic cover-embedding BCNF scheme: a star R_i(C A_i) with central
+// key attribute C, keys {C} on every relation... plus the center R_0(C).
+// (A tree-shaped hypergraph; γ-acyclic.) n >= 1.
+DatabaseScheme MakeStarScheme(size_t n);
+
+// A random tree-shaped scheme: attributes are tree nodes, relations are the
+// parent-child edges {X_parent, X_child}. Each edge independently declares
+// either both singleton keys (probability `bidirectional`) or only the
+// parent key. Tree hypergraphs of 2-attribute edges are Berge-acyclic,
+// hence γ-acyclic; singleton keys keep the scheme BCNF. By Theorem 5.2
+// every output is independence-reducible — the Theorem 5.2 sweep family.
+// nodes >= 2.
+DatabaseScheme MakeTreeScheme(size_t nodes, double bidirectional,
+                              uint64_t seed);
+
+// --- States ----------------------------------------------------------------
+
+// Options for consistent-state generation.
+struct StateGenOptions {
+  // Number of "universal entities": each contributes projections of one
+  // fully-distinct universal tuple, so the union always has a weak instance.
+  size_t entities = 100;
+  // Probability that an entity materializes its projection onto any given
+  // relation (1.0 = every relation gets every entity's projection).
+  double coverage = 0.7;
+  uint64_t seed = 42;
+};
+
+// A consistent state on `scheme`: for each entity, a universal tuple with
+// globally fresh values is projected onto a random subset of the relations.
+// Consistency is by construction (the universal tuples form a weak
+// instance); the chase genuinely merges the per-entity fragments.
+DatabaseState MakeConsistentState(const DatabaseScheme& scheme,
+                                  const StateGenOptions& options);
+
+// A stream of `count` insert instances for maintenance experiments: each is
+// (relation index, tuple). With probability `conflict_rate` the tuple
+// reuses the key values of an existing entity but conflicting non-key
+// values (an inconsistent insert); otherwise it projects a fresh entity
+// (a consistent insert).
+struct InsertInstance {
+  size_t rel;
+  PartialTuple tuple;
+  bool expected_consistent;
+};
+std::vector<InsertInstance> MakeInsertStream(const DatabaseScheme& scheme,
+                                             const DatabaseState& state,
+                                             size_t count,
+                                             double conflict_rate,
+                                             uint64_t seed);
+
+// --- Random schemes (for the class census) ----------------------------------
+
+struct RandomSchemeOptions {
+  size_t universe_size = 8;
+  size_t relations = 5;
+  size_t min_arity = 2;
+  size_t max_arity = 4;
+  // Probability that a relation tries to declare a second candidate key
+  // (additions that would invalidate another declared key's minimality are
+  // rolled back, so Validate() always passes).
+  double multi_key_prob = 0.0;
+  uint64_t seed = 1;
+};
+
+// A random database scheme: random attribute sets, one random minimal key
+// each (declared keys are reduced against the global F until minimal, so
+// Validate() passes). The class landscape of these schemes is what the
+// census experiment (E5) measures.
+DatabaseScheme MakeRandomScheme(const RandomSchemeOptions& options);
+
+}  // namespace ird
+
+#endif  // IRD_WORKLOAD_GENERATORS_H_

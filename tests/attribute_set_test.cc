@@ -1,0 +1,199 @@
+#include "base/attribute_set.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "base/universe.h"
+
+namespace ird {
+namespace {
+
+TEST(AttributeSetTest, EmptySet) {
+  AttributeSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_TRUE(s.IsSubsetOf(AttributeSet{1, 2}));
+  EXPECT_TRUE(s.IsSubsetOf(AttributeSet{}));
+}
+
+TEST(AttributeSetTest, AddRemoveContains) {
+  AttributeSet s;
+  s.Add(3);
+  s.Add(70);  // crosses a word boundary
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(70));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 2u);
+  s.Remove(70);
+  EXPECT_FALSE(s.Contains(70));
+  EXPECT_EQ(s.Count(), 1u);
+  // Removing a high bit normalizes trailing words: equality with the
+  // directly built set must hold.
+  EXPECT_EQ(s, (AttributeSet{3}));
+}
+
+TEST(AttributeSetTest, RemoveAbsentIsNoop) {
+  AttributeSet s{1, 2};
+  s.Remove(99);
+  EXPECT_EQ(s, (AttributeSet{1, 2}));
+}
+
+TEST(AttributeSetTest, AllUpTo) {
+  EXPECT_TRUE(AttributeSet::AllUpTo(0).Empty());
+  AttributeSet s = AttributeSet::AllUpTo(65);
+  EXPECT_EQ(s.Count(), 65u);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_FALSE(s.Contains(65));
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet a{1, 2, 3};
+  AttributeSet b{3, 4, 100};
+  EXPECT_EQ(a.Union(b), (AttributeSet{1, 2, 3, 4, 100}));
+  EXPECT_EQ(a.Intersect(b), (AttributeSet{3}));
+  EXPECT_EQ(a.Minus(b), (AttributeSet{1, 2}));
+  EXPECT_EQ(b.Minus(a), (AttributeSet{4, 100}));
+  // Mixed word counts in both directions.
+  EXPECT_EQ(b.Intersect(a), (AttributeSet{3}));
+}
+
+TEST(AttributeSetTest, SubsetSuperset) {
+  AttributeSet a{1, 2};
+  AttributeSet b{1, 2, 3};
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsProperSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(b.IsSupersetOf(a));
+  EXPECT_FALSE(a.IsProperSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(AttributeSetTest, Incomparable) {
+  AttributeSet a{1, 2};
+  AttributeSet b{2, 3};
+  EXPECT_TRUE(a.IsIncomparableWith(b));
+  EXPECT_FALSE(a.IsIncomparableWith(a));
+  EXPECT_FALSE(a.IsIncomparableWith(AttributeSet{1, 2, 3}));
+}
+
+TEST(AttributeSetTest, Intersects) {
+  EXPECT_TRUE((AttributeSet{1, 64}).Intersects(AttributeSet{64}));
+  EXPECT_FALSE((AttributeSet{1, 2}).Intersects(AttributeSet{3, 70}));
+  EXPECT_FALSE(AttributeSet{}.Intersects(AttributeSet{1}));
+}
+
+TEST(AttributeSetTest, FirstAndRank) {
+  AttributeSet s{5, 9, 70};
+  EXPECT_EQ(s.First(), 5u);
+  EXPECT_EQ(s.Rank(5), 0u);
+  EXPECT_EQ(s.Rank(9), 1u);
+  EXPECT_EQ(s.Rank(70), 2u);
+  EXPECT_EQ(s.Rank(6), 1u);    // non-member
+  EXPECT_EQ(s.Rank(200), 3u);  // beyond the last word
+}
+
+TEST(AttributeSetTest, ToVectorOrdered) {
+  AttributeSet s{70, 1, 5};
+  EXPECT_EQ(s.ToVector(), (std::vector<AttributeId>{1, 5, 70}));
+}
+
+TEST(AttributeSetTest, ForEachVisitsInOrder) {
+  AttributeSet s{8, 2, 130};
+  std::vector<AttributeId> seen;
+  s.ForEach([&](AttributeId id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<AttributeId>{2, 8, 130}));
+}
+
+TEST(AttributeSetTest, EqualityNormalizesTrailingWords) {
+  AttributeSet a{1};
+  AttributeSet b{1, 200};
+  b.Remove(200);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(AttributeSetTest, TotalOrderIsStrict) {
+  std::vector<AttributeSet> sets = {{}, {1}, {2}, {1, 2}, {64}, {1, 64}};
+  std::set<AttributeSet> ordered(sets.begin(), sets.end());
+  EXPECT_EQ(ordered.size(), sets.size());
+  for (const AttributeSet& a : sets) {
+    EXPECT_FALSE(a < a);
+  }
+}
+
+TEST(AttributeSetTest, RandomizedAlgebraAgainstStdSet) {
+  std::mt19937 rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::set<AttributeId> sa;
+    std::set<AttributeId> sb;
+    AttributeSet a;
+    AttributeSet b;
+    for (int i = 0; i < 40; ++i) {
+      AttributeId x = rng() % 200;
+      if (rng() % 2 == 0) {
+        sa.insert(x);
+        a.Add(x);
+      } else {
+        sb.insert(x);
+        b.Add(x);
+      }
+    }
+    AttributeSet u = a.Union(b);
+    size_t expected_union = 0;
+    for (AttributeId x = 0; x < 200; ++x) {
+      bool in_union = sa.count(x) > 0 || sb.count(x) > 0;
+      EXPECT_EQ(u.Contains(x), in_union);
+      expected_union += in_union ? 1 : 0;
+      EXPECT_EQ(a.Intersect(b).Contains(x),
+                sa.count(x) > 0 && sb.count(x) > 0);
+      EXPECT_EQ(a.Minus(b).Contains(x), sa.count(x) > 0 && sb.count(x) == 0);
+    }
+    EXPECT_EQ(u.Count(), expected_union);
+  }
+}
+
+TEST(UniverseTest, InternIsIdempotent) {
+  Universe u;
+  AttributeId a = u.Intern("Hour");
+  EXPECT_EQ(u.Intern("Hour"), a);
+  EXPECT_EQ(u.Name(a), "Hour");
+  EXPECT_EQ(u.size(), 1u);
+}
+
+TEST(UniverseTest, FindUnknownFails) {
+  Universe u;
+  u.Intern("A");
+  EXPECT_TRUE(u.Find("A").ok());
+  EXPECT_FALSE(u.Find("B").ok());
+  EXPECT_EQ(u.Find("B").status().code(), StatusCode::kNotFound);
+}
+
+TEST(UniverseTest, CharsAndFormat) {
+  Universe u;
+  AttributeSet s = u.Chars("CAB");
+  EXPECT_EQ(s.Count(), 3u);
+  // Format renders in id order for single-char names: C interned first.
+  EXPECT_EQ(u.Format(s), "CAB");
+  EXPECT_EQ(u.Format(AttributeSet{}), "∅");
+}
+
+TEST(UniverseTest, FormatMultiCharNamesUsesCommas) {
+  Universe u;
+  AttributeSet s;
+  s.Add(u.Intern("Hour"));
+  s.Add(u.Intern("Room"));
+  EXPECT_EQ(u.Format(s), "Hour,Room");
+}
+
+TEST(UniverseTest, AllMatchesSize) {
+  Universe u;
+  u.Chars("ABCDE");
+  EXPECT_EQ(u.All().Count(), 5u);
+}
+
+}  // namespace
+}  // namespace ird

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "base/universe.h"
+#include "fd/fd_set.h"
+#include "fd/key_finder.h"
+
+namespace ird {
+namespace {
+
+// Fixture with the textbook universe ABCDEG.
+class FdTest : public ::testing::Test {
+ protected:
+  AttributeSet S(std::string_view letters) { return u_.Chars(letters); }
+
+  Universe u_;
+};
+
+TEST_F(FdTest, TrivialAndEmbedded) {
+  FunctionalDependency fd(S("AB"), S("A"));
+  EXPECT_TRUE(fd.IsTrivial());
+  FunctionalDependency fd2(S("A"), S("B"));
+  EXPECT_FALSE(fd2.IsTrivial());
+  EXPECT_TRUE(fd2.IsEmbeddedIn(S("ABC")));
+  EXPECT_FALSE(fd2.IsEmbeddedIn(S("AC")));
+}
+
+TEST_F(FdTest, ClosureBasic) {
+  FdSet f;
+  f.Add(S("A"), S("B"));
+  f.Add(S("B"), S("C"));
+  EXPECT_EQ(f.Closure(S("A")), S("ABC"));
+  EXPECT_EQ(f.Closure(S("B")), S("BC"));
+  EXPECT_EQ(f.Closure(S("C")), S("C"));
+  EXPECT_EQ(f.Closure(S("")), S(""));
+}
+
+TEST_F(FdTest, ClosureNeedsJointLeftSides) {
+  FdSet f;
+  f.Add(S("AB"), S("C"));
+  f.Add(S("C"), S("D"));
+  EXPECT_EQ(f.Closure(S("A")), S("A"));
+  EXPECT_EQ(f.Closure(S("AB")), S("ABCD"));
+}
+
+TEST_F(FdTest, ClosureCascades) {
+  // A -> B, BC -> D with C present only transitively: A -> C, then BC fires.
+  FdSet f;
+  f.Add(S("A"), S("B"));
+  f.Add(S("A"), S("C"));
+  f.Add(S("BC"), S("D"));
+  EXPECT_EQ(f.Closure(S("A")), S("ABCD"));
+}
+
+TEST_F(FdTest, ImpliesAndCovers) {
+  FdSet f;
+  f.Add(S("A"), S("B"));
+  f.Add(S("B"), S("C"));
+  EXPECT_TRUE(f.Implies(S("A"), S("C")));
+  EXPECT_FALSE(f.Implies(S("C"), S("A")));
+  FdSet g;
+  g.Add(S("A"), S("BC"));
+  EXPECT_TRUE(f.Covers(g));
+  EXPECT_FALSE(g.Covers(f));  // g cannot derive B -> C
+  EXPECT_FALSE(f.EquivalentTo(g));
+}
+
+TEST_F(FdTest, EquivalentCoversBothWays) {
+  FdSet f;
+  f.Add(S("A"), S("B"));
+  f.Add(S("A"), S("C"));
+  FdSet g;
+  g.Add(S("A"), S("BC"));
+  EXPECT_TRUE(f.EquivalentTo(g));
+}
+
+TEST_F(FdTest, StandardFormSplitsRightSides) {
+  FdSet f;
+  f.Add(S("A"), S("ABC"));  // trivial A part must drop
+  FdSet std_form = f.StandardForm();
+  EXPECT_EQ(std_form.size(), 2u);
+  for (const FunctionalDependency& fd : std_form.fds()) {
+    EXPECT_EQ(fd.rhs.Count(), 1u);
+    EXPECT_FALSE(fd.IsTrivial());
+  }
+  EXPECT_TRUE(std_form.EquivalentTo(f));
+}
+
+TEST_F(FdTest, MinimalCoverRemovesRedundantFd) {
+  FdSet f;
+  f.Add(S("A"), S("B"));
+  f.Add(S("B"), S("C"));
+  f.Add(S("A"), S("C"));  // implied by transitivity
+  FdSet minimal = f.MinimalCover();
+  EXPECT_EQ(minimal.size(), 2u);
+  EXPECT_TRUE(minimal.EquivalentTo(f));
+}
+
+TEST_F(FdTest, MinimalCoverShrinksLeftSides) {
+  FdSet f;
+  f.Add(S("A"), S("B"));
+  f.Add(S("AB"), S("C"));  // B is extraneous
+  FdSet minimal = f.MinimalCover();
+  EXPECT_TRUE(minimal.EquivalentTo(f));
+  for (const FunctionalDependency& fd : minimal.fds()) {
+    EXPECT_EQ(fd.lhs, S("A"));
+  }
+}
+
+TEST_F(FdTest, ProjectOntoKeepsEmbeddedConsequences) {
+  // A -> B -> C; projecting onto AC must retain A -> C.
+  FdSet f;
+  f.Add(S("A"), S("B"));
+  f.Add(S("B"), S("C"));
+  FdSet projected = f.ProjectOnto(S("AC"));
+  EXPECT_TRUE(projected.Implies(S("A"), S("C")));
+  EXPECT_FALSE(projected.Implies(S("C"), S("A")));
+  // Everything projected must be implied by f and embedded in AC.
+  for (const FunctionalDependency& fd : projected.fds()) {
+    EXPECT_TRUE(f.Implies(fd));
+    EXPECT_TRUE(fd.IsEmbeddedIn(S("AC")));
+  }
+}
+
+TEST_F(FdTest, ProjectOntoDropsOutsideDependencies) {
+  FdSet f;
+  f.Add(S("A"), S("B"));
+  FdSet projected = f.ProjectOnto(S("AC"));
+  EXPECT_FALSE(projected.Implies(S("A"), S("C")));
+  EXPECT_TRUE(projected.Implies(S("A"), S("A")));  // trivial only
+}
+
+TEST_F(FdTest, EmbeddedInFilters) {
+  FdSet f;
+  f.Add(S("A"), S("B"));
+  f.Add(S("C"), S("D"));
+  FdSet embedded = f.EmbeddedIn(S("ABD"));
+  EXPECT_EQ(embedded.size(), 1u);
+  EXPECT_EQ(embedded.fds()[0].lhs, S("A"));
+}
+
+TEST_F(FdTest, IsCandidateKey) {
+  FdSet f;
+  f.Add(S("A"), S("BC"));
+  EXPECT_TRUE(IsCandidateKey(S("A"), S("ABC"), f));
+  EXPECT_FALSE(IsCandidateKey(S("AB"), S("ABC"), f));  // not minimal
+  EXPECT_FALSE(IsCandidateKey(S("B"), S("ABC"), f));   // not a superkey
+  EXPECT_FALSE(IsCandidateKey(S("D"), S("ABC"), f));   // outside the scheme
+}
+
+TEST_F(FdTest, ReduceToKeyDropsExtraneousAttributes) {
+  FdSet f;
+  f.Add(S("A"), S("BC"));
+  EXPECT_EQ(ReduceToKey(S("ABC"), S("ABC"), f), S("A"));
+}
+
+TEST_F(FdTest, FindCandidateKeysTextbook) {
+  // R(ABCD), F = {A -> B, B -> A, AC -> D}: keys are AC and BC.
+  FdSet f;
+  f.Add(S("A"), S("B"));
+  f.Add(S("B"), S("A"));
+  f.Add(S("AC"), S("D"));
+  std::vector<AttributeSet> keys = FindCandidateKeys(S("ABCD"), f);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_TRUE((keys[0] == S("AC") && keys[1] == S("BC")) ||
+              (keys[0] == S("BC") && keys[1] == S("AC")));
+}
+
+TEST_F(FdTest, FindCandidateKeysWholeSchemeWhenNoFds) {
+  FdSet f;
+  std::vector<AttributeSet> keys = FindCandidateKeys(S("AB"), f);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], S("AB"));
+}
+
+TEST_F(FdTest, FindCandidateKeysAllSingletons) {
+  // A <-> B <-> C: every attribute is a key.
+  FdSet f;
+  f.Add(S("A"), S("B"));
+  f.Add(S("B"), S("C"));
+  f.Add(S("C"), S("A"));
+  std::vector<AttributeSet> keys = FindCandidateKeys(S("ABC"), f);
+  EXPECT_EQ(keys.size(), 3u);
+  for (const AttributeSet& k : keys) {
+    EXPECT_EQ(k.Count(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ird

@@ -1,0 +1,129 @@
+#include "hypergraph/gamma_cycle.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+Hypergraph H(std::vector<AttributeSet> edges) {
+  return Hypergraph(std::move(edges));
+}
+
+// Re-verifies a produced witness against the definition.
+void VerifyCycle(const Hypergraph& h, const GammaCycle& cycle) {
+  const size_t m = cycle.edges.size();
+  ASSERT_GE(m, 3u);
+  ASSERT_EQ(cycle.connectors.size(), m);
+  // Distinctness.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      EXPECT_NE(cycle.edges[i], cycle.edges[j]);
+      EXPECT_NE(cycle.connectors[i], cycle.connectors[j]);
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const AttributeSet& si = h.edges()[cycle.edges[i]];
+    const AttributeSet& snext = h.edges()[cycle.edges[(i + 1) % m]];
+    AttributeId x = cycle.connectors[i];
+    EXPECT_TRUE(si.Contains(x));
+    EXPECT_TRUE(snext.Contains(x));
+    if (i == 0) continue;  // x1 is the exempt connector
+    for (size_t j = 0; j < m; ++j) {
+      if (j == i || j == (i + 1) % m) continue;
+      EXPECT_FALSE(h.edges()[cycle.edges[j]].Contains(x))
+          << "restricted connector leaked into another cycle edge";
+    }
+  }
+}
+
+TEST(GammaCycleTest, TriangleHasCycle) {
+  Hypergraph h = H({{0, 1}, {1, 2}, {0, 2}});
+  auto cycle = FindGammaCycle(h);
+  ASSERT_TRUE(cycle.has_value());
+  VerifyCycle(h, *cycle);
+  EXPECT_EQ(cycle->edges.size(), 3u);
+}
+
+TEST(GammaCycleTest, PathAndStarAreAcyclic) {
+  EXPECT_FALSE(FindGammaCycle(H({{0, 1}, {1, 2}, {2, 3}})).has_value());
+  EXPECT_FALSE(FindGammaCycle(H({{0, 1}, {0, 2}, {0, 3}})).has_value());
+  EXPECT_FALSE(FindGammaCycle(H({{0, 1, 2}})).has_value());
+}
+
+TEST(GammaCycleTest, SunflowerHasCycleWithExemptCore) {
+  // {124, 014, 034}: γ-cyclic with the shared core node 4 as the exempt
+  // connector.
+  Hypergraph h = H({{1, 2, 4}, {0, 1, 4}, {0, 3, 4}});
+  auto cycle = FindGammaCycle(h);
+  ASSERT_TRUE(cycle.has_value());
+  VerifyCycle(h, *cycle);
+}
+
+TEST(GammaCycleTest, FanTriangleHasCycle) {
+  Hypergraph h = H({{0, 3, 4}, {1, 3, 4}, {0, 2, 3}, {2, 3, 4}});
+  auto cycle = FindGammaCycle(h);
+  ASSERT_TRUE(cycle.has_value());
+  VerifyCycle(h, *cycle);
+}
+
+TEST(GammaCycleTest, AgreesWithUmcRecognizerOnPaperSchemes) {
+  std::vector<DatabaseScheme> schemes = {
+      test::Example1R(), test::Example1S(), test::Example3(),
+      test::Example4(),  test::Example9(),  test::Example11(),
+      test::Example13()};
+  for (const DatabaseScheme& s : schemes) {
+    Hypergraph h = Hypergraph::Of(s);
+    EXPECT_EQ(!FindGammaCycle(h).has_value(), IsGammaAcyclic(h))
+        << s.ToString();
+  }
+}
+
+TEST(GammaCycleTest, AgreesWithUmcRecognizerOnRandomHypergraphs) {
+  std::mt19937_64 rng(77);
+  size_t checked = 0;
+  size_t cyclic = 0;
+  for (int round = 0; round < 300; ++round) {
+    size_t nodes = 3 + rng() % 4;  // 3..6
+    size_t edges = 2 + rng() % 4;  // 2..5
+    std::vector<AttributeSet> e;
+    for (size_t i = 0; i < edges; ++i) {
+      AttributeSet set;
+      size_t arity = 2 + rng() % 2;
+      while (set.Count() < arity) {
+        set.Add(static_cast<AttributeId>(rng() % nodes));
+      }
+      bool dup = false;
+      for (const AttributeSet& other : e) {
+        if (other == set) dup = true;
+      }
+      if (!dup) e.push_back(set);
+    }
+    Hypergraph h(std::move(e));
+    ++checked;
+    auto cycle = FindGammaCycle(h);
+    if (cycle.has_value()) {
+      VerifyCycle(h, *cycle);
+      ++cyclic;
+    }
+    EXPECT_EQ(!cycle.has_value(), IsGammaAcyclic(h)) << "round " << round;
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_GT(cyclic, 20u);   // both outcomes well represented
+  EXPECT_LT(cyclic, checked - 20u);
+}
+
+TEST(GammaCycleTest, TreeFamilyIsAcyclic) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    DatabaseScheme s = MakeTreeScheme(6 + seed % 5, 0.5, seed);
+    EXPECT_FALSE(FindGammaCycle(Hypergraph::Of(s)).has_value())
+        << s.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ird

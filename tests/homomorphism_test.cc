@@ -1,0 +1,129 @@
+#include "tableau/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "relation/weak_instance.h"
+#include "tableau/chase.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+TEST(HomomorphismTest, IdentityAlwaysExists) {
+  Tableau t(3);
+  t.AddSchemeRow(AttributeSet{0, 1});
+  t.AddTupleRow(AttributeSet{1, 2}, {5, 6});
+  EXPECT_TRUE(HomomorphismExists(t, t));
+  EXPECT_TRUE(AreEquivalentTableaux(t, t));
+}
+
+TEST(HomomorphismTest, NdvMapsAnywhereConsistently) {
+  // Row (a0, n) maps onto row (a0, 7): ndv binds to the constant.
+  Tableau from(2);
+  {
+    std::vector<SymId> cells = {from.Dv(0), from.FreshNdv()};
+    from.AddRow(cells);
+  }
+  Tableau to(2);
+  {
+    std::vector<SymId> cells = {to.Dv(0), to.Constant(7)};
+    to.AddRow(cells);
+  }
+  EXPECT_TRUE(HomomorphismExists(from, to));
+  // But not the other way: the constant 7 has nowhere to go.
+  EXPECT_FALSE(HomomorphismExists(to, from));
+}
+
+TEST(HomomorphismTest, SharedNdvMustBindConsistently) {
+  // Rows (n, b) and (n, c) share n; the target has rows (1, b) and (2, c):
+  // n would need to be both 1 and 2.
+  Tableau from(2);
+  SymId shared = from.FreshNdv();
+  {
+    std::vector<SymId> r1 = {shared, from.Constant(100)};
+    from.AddRow(r1);
+    std::vector<SymId> r2 = {shared, from.Constant(200)};
+    from.AddRow(r2);
+  }
+  Tableau to(2);
+  {
+    std::vector<SymId> r1 = {to.Constant(1), to.Constant(100)};
+    to.AddRow(r1);
+    std::vector<SymId> r2 = {to.Constant(2), to.Constant(200)};
+    to.AddRow(r2);
+  }
+  EXPECT_FALSE(HomomorphismExists(from, to));
+  // With a third target row (1, 200) the binding n=1 works.
+  std::vector<SymId> r3 = {to.Constant(1), to.Constant(200)};
+  to.AddRow(r3);
+  EXPECT_TRUE(HomomorphismExists(from, to));
+}
+
+TEST(HomomorphismTest, DvMustStayDistinguished) {
+  Tableau from(1);
+  {
+    std::vector<SymId> cells = {from.Dv(0)};
+    from.AddRow(cells);
+  }
+  Tableau to(1);
+  {
+    std::vector<SymId> cells = {to.Constant(9)};
+    to.AddRow(cells);
+  }
+  EXPECT_FALSE(HomomorphismExists(from, to));
+}
+
+TEST(HomomorphismTest, WidthMismatchFails) {
+  Tableau a(2);
+  a.AddSchemeRow(AttributeSet{0});
+  Tableau b(3);
+  b.AddSchemeRow(AttributeSet{0});
+  EXPECT_FALSE(HomomorphismExists(a, b));
+}
+
+TEST(MinimizeTableauTest, DropsDuplicateAndSubsumedRows) {
+  Tableau t(3);
+  t.AddTupleRow(AttributeSet{0, 1, 2}, {1, 2, 3});
+  t.AddTupleRow(AttributeSet{0, 1}, {1, 2});  // subsumed (fresh ndv on col 2)
+  t.AddTupleRow(AttributeSet{0, 1}, {1, 2});  // duplicate
+  t.AddTupleRow(AttributeSet{0, 1}, {8, 9});  // independent
+  EXPECT_EQ(MinimizeTableau(&t), 2u);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(MinimizeTableauTest, AgreesWithConstantSubsumptionOnChasedStates) {
+  // On chased key-equivalent state tableaux (all ndv's distinct), general
+  // tableau minimization removes exactly the constant-subsumed rows.
+  std::vector<DatabaseScheme> schemes = {MakeChainScheme(3),
+                                         MakeSplitScheme(2)};
+  for (const DatabaseScheme& s : schemes) {
+    StateGenOptions opt;
+    opt.entities = 4;
+    opt.coverage = 0.5;
+    opt.seed = 5;
+    DatabaseState state = MakeConsistentState(s, opt);
+    Result<Tableau> chased = RepresentativeInstance(state);
+    ASSERT_TRUE(chased.ok());
+    Tableau by_subsumption = *chased;
+    size_t removed_subsumption =
+        MinimizeByConstantSubsumption(&by_subsumption);
+    Tableau by_homomorphism = *chased;
+    size_t removed_homomorphism = MinimizeTableau(&by_homomorphism);
+    EXPECT_EQ(removed_subsumption, removed_homomorphism);
+    EXPECT_TRUE(AreEquivalentTableaux(by_subsumption, by_homomorphism));
+  }
+}
+
+TEST(MinimizeTableauTest, MinimizedTableauStaysEquivalent) {
+  Tableau t(3);
+  t.AddTupleRow(AttributeSet{0, 1, 2}, {1, 2, 3});
+  t.AddTupleRow(AttributeSet{0, 1}, {1, 2});
+  t.AddTupleRow(AttributeSet{2}, {3});
+  Tableau original = t;
+  MinimizeTableau(&t);
+  EXPECT_TRUE(AreEquivalentTableaux(original, t));
+}
+
+}  // namespace
+}  // namespace ird

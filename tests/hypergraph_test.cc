@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hypergraph/hypergraph.h"
+#include "tests/test_util.h"
+
+namespace ird {
+namespace {
+
+using test::Attrs;
+
+Hypergraph H(std::vector<AttributeSet> edges) {
+  return Hypergraph(std::move(edges));
+}
+
+TEST(HypergraphTest, OfScheme) {
+  Hypergraph h = Hypergraph::Of(test::Example1R());
+  EXPECT_EQ(h.edge_count(), 5u);
+  EXPECT_EQ(h.nodes().Count(), 6u);  // H, R, C, T, S, G
+}
+
+TEST(HypergraphTest, Connectivity) {
+  EXPECT_TRUE(H({{0, 1}, {1, 2}, {2, 3}}).IsConnected());
+  EXPECT_FALSE(H({{0, 1}, {2, 3}}).IsConnected());
+  EXPECT_TRUE(H({}).IsConnected());
+  EXPECT_EQ(H({{0, 1}, {2, 3}, {3, 4}}).ConnectedComponents().size(), 2u);
+}
+
+TEST(HypergraphTest, ConnectedFamily) {
+  EXPECT_TRUE(IsConnectedFamily({{0, 1}, {1, 2}}));
+  EXPECT_FALSE(IsConnectedFamily({{0, 1}, {2, 3}}));
+  EXPECT_TRUE(IsConnectedFamily({}));
+  EXPECT_TRUE(IsConnectedFamily({{5}}));
+}
+
+TEST(BachmanTest, ClosesUnderIntersection) {
+  std::vector<AttributeSet> closure =
+      BachmanClosure({{0, 1, 2}, {1, 2, 3}, {2, 3, 4}});
+  // Intersections: {1,2}, {2,3}, {2}.
+  EXPECT_EQ(closure.size(), 6u);
+  bool has_12 = false, has_2 = false;
+  for (const AttributeSet& s : closure) {
+    if (s == (AttributeSet{1, 2})) has_12 = true;
+    if (s == (AttributeSet{2})) has_2 = true;
+  }
+  EXPECT_TRUE(has_12);
+  EXPECT_TRUE(has_2);
+}
+
+TEST(BachmanTest, DropsEmptyIntersections) {
+  std::vector<AttributeSet> closure = BachmanClosure({{0, 1}, {2, 3}});
+  EXPECT_EQ(closure.size(), 2u);
+}
+
+TEST(UmcTest, PathHypergraphHasUmc) {
+  Hypergraph h = H({{0, 1}, {1, 2}, {2, 3}});
+  auto umc = FindUniqueMinimalConnection(h, AttributeSet{0, 3});
+  ASSERT_TRUE(umc.has_value());
+  EXPECT_EQ(umc->size(), 3u);  // the whole path
+}
+
+TEST(UmcTest, SingleEdgeCover) {
+  Hypergraph h = H({{0, 1, 2}, {2, 3}});
+  auto umc = FindUniqueMinimalConnection(h, AttributeSet{0, 1});
+  ASSERT_TRUE(umc.has_value());
+  EXPECT_EQ(umc->size(), 1u);
+}
+
+TEST(UmcTest, TriangleHasNoUmcForPairs) {
+  // {AB, BC, AC}: between A and B both {AB} and {BC, AC} are minimal
+  // connections and neither dominates the other.
+  Hypergraph h = H({{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_FALSE(FindUniqueMinimalConnection(h, AttributeSet{0, 1}).has_value());
+  EXPECT_FALSE(
+      FindUniqueMinimalConnection(h, AttributeSet{0, 1, 2}).has_value());
+}
+
+TEST(UmcTest, SunflowerFanIsGammaCyclic) {
+  // {124, 014, 034}: between 0 and 1 both {014} and the two-set connection
+  // through node 4 are minimal, and neither dominates the other with
+  // distinct representatives — no u.m.c., matching the Fagin γ-cycle
+  // (E1, 1, E2, 0, E3, 4, E1) with exempt connector 4. The hypergraph is
+  // α-acyclic: γ is strictly stronger.
+  Hypergraph h = H({{1, 2, 4}, {0, 1, 4}, {0, 3, 4}});
+  EXPECT_FALSE(FindUniqueMinimalConnection(h, AttributeSet{0, 1}).has_value());
+  EXPECT_FALSE(HasUmcForAllSubsets(h));
+  EXPECT_FALSE(IsGammaAcyclic(h));
+  EXPECT_TRUE(IsAlphaAcyclic(h));
+}
+
+TEST(UmcTest, InjectiveDominationRegression) {
+  // The α-cyclic "fan triangle" (three arity-3 edges around a common core
+  // node): without the distinct-representatives requirement in the u.m.c.
+  // domination test, this wrongly passed as γ-acyclic.
+  Hypergraph h = H({{0, 3, 4}, {1, 3, 4}, {0, 2, 3}, {2, 3, 4}});
+  EXPECT_FALSE(IsAlphaAcyclic(h));
+  EXPECT_FALSE(IsGammaAcyclic(h));
+  EXPECT_FALSE(FindUniqueMinimalConnection(h, AttributeSet{0, 2}).has_value());
+}
+
+TEST(UmcTest, ContainedEdgeCreatesAmbiguity) {
+  // {AB, AC, ABC}: the connection between B and C is ambiguous — through
+  // ABC directly or through AB ⋈ AC — so there is no u.m.c. for {B, C}.
+  Hypergraph h = H({{0, 1}, {0, 2}, {0, 1, 2}});
+  EXPECT_FALSE(FindUniqueMinimalConnection(h, AttributeSet{1, 2}).has_value());
+  EXPECT_FALSE(IsGammaAcyclic(h));
+  // Reduced, the ambiguity disappears.
+  EXPECT_TRUE(IsGammaAcyclic(H({{0, 1, 2}})));
+}
+
+TEST(UmcTest, UncoverableReturnsNullopt) {
+  Hypergraph h = H({{0, 1}, {2, 3}});
+  EXPECT_FALSE(FindUniqueMinimalConnection(h, AttributeSet{0, 3}).has_value());
+}
+
+TEST(GammaTest, TriangleIsGammaCyclic) {
+  // Example 3's hypergraph {AB, BC, AC}.
+  EXPECT_FALSE(IsGammaAcyclic(H({{0, 1}, {1, 2}, {0, 2}})));
+}
+
+TEST(GammaTest, PathAndStarAreGammaAcyclic) {
+  EXPECT_TRUE(IsGammaAcyclic(H({{0, 1}, {1, 2}, {2, 3}})));
+  EXPECT_TRUE(IsGammaAcyclic(H({{0, 1}, {0, 2}, {0, 3}})));
+  EXPECT_TRUE(IsGammaAcyclic(H({{0, 1, 2}})));
+  EXPECT_TRUE(IsGammaAcyclic(H({{0, 1}, {0, 1, 2}})));
+}
+
+TEST(GammaTest, Example1RIsNotGammaAcyclic) {
+  // The paper states R of Example 1 is not γ-acyclic.
+  EXPECT_FALSE(IsGammaAcyclic(Hypergraph::Of(test::Example1R())));
+}
+
+TEST(GammaTest, Example1SIsGammaAcyclic) {
+  // S = {HRCT, CSG, HSR}: pairwise overlaps C/S/HR..., check the exact
+  // verdict against the u.m.c. characterization below; here just pin the
+  // γ-cycle search's answer for regression.
+  Hypergraph h = Hypergraph::Of(test::Example1S());
+  EXPECT_EQ(IsGammaAcyclic(h), HasUmcForAllSubsets(h));
+}
+
+TEST(GammaTest, AgreesWithUmcCharacterizationOnPaperSchemes) {
+  // Theorem 2.1: for connected R, γ-acyclic iff u.m.c. exists among every
+  // X ⊆ U.
+  std::vector<DatabaseScheme> schemes = {test::Example1R(), test::Example3(),
+                                         test::Example9(), test::Example11()};
+  for (const DatabaseScheme& s : schemes) {
+    Hypergraph h = Hypergraph::Of(s);
+    if (!h.IsConnected()) continue;
+    EXPECT_EQ(IsGammaAcyclic(h), HasUmcForAllSubsets(h)) << s.ToString();
+  }
+}
+
+TEST(GammaTest, AgreesWithUmcCharacterizationOnRandomHypergraphs) {
+  std::mt19937_64 rng(11);
+  size_t checked = 0;
+  for (int round = 0; round < 60; ++round) {
+    size_t nodes = 4 + rng() % 3;   // 4..6
+    size_t edges = 3 + rng() % 2;   // 3..4
+    std::vector<AttributeSet> e;
+    for (size_t i = 0; i < edges; ++i) {
+      AttributeSet set;
+      while (set.Count() < 2) {
+        set.Add(static_cast<AttributeId>(rng() % nodes));
+      }
+      if (rng() % 2 == 0) set.Add(static_cast<AttributeId>(rng() % nodes));
+      e.push_back(set);
+    }
+    Hypergraph h(std::move(e));
+    if (!h.IsConnected()) continue;
+    ++checked;
+    EXPECT_EQ(IsGammaAcyclic(h), HasUmcForAllSubsets(h))
+        << "round " << round;
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+TEST(AlphaTest, GyoBasics) {
+  EXPECT_TRUE(IsAlphaAcyclic(H({{0, 1}, {1, 2}, {2, 3}})));
+  EXPECT_FALSE(IsAlphaAcyclic(H({{0, 1}, {1, 2}, {0, 2}})));
+  // The classic α-but-not-γ example: adding the full edge ABC makes the
+  // triangle α-acyclic.
+  EXPECT_TRUE(IsAlphaAcyclic(H({{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}})));
+}
+
+TEST(AlphaTest, GammaImpliesAlphaOnRandomHypergraphs) {
+  std::mt19937_64 rng(23);
+  for (int round = 0; round < 80; ++round) {
+    size_t nodes = 4 + rng() % 4;
+    size_t edges = 2 + rng() % 4;
+    std::vector<AttributeSet> e;
+    for (size_t i = 0; i < edges; ++i) {
+      AttributeSet set;
+      while (set.Count() < 2) {
+        set.Add(static_cast<AttributeId>(rng() % nodes));
+      }
+      e.push_back(set);
+    }
+    Hypergraph h(std::move(e));
+    if (IsGammaAcyclic(h)) {
+      EXPECT_TRUE(IsAlphaAcyclic(h)) << "round " << round;
+    }
+  }
+}
+
+TEST(AlphaTest, Example3NotEvenAlphaAcyclic) {
+  // The paper notes Example 3's R is not even α-acyclic.
+  EXPECT_FALSE(IsAlphaAcyclic(Hypergraph::Of(test::Example3())));
+}
+
+}  // namespace
+}  // namespace ird

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/classify.h"
+#include "io/text_format.h"
+#include "relation/weak_instance.h"
+
+namespace ird {
+namespace {
+
+constexpr char kUniversity[] = R"(
+# Example 1's university scheme.
+relation R1 ( H R C ) keys ( H R )
+relation R2 ( H T R ) keys ( H T ) ( H R )
+relation R3 ( H T C ) keys ( H T )
+relation R4 ( C S G ) keys ( C S )
+relation R5 ( H S R ) keys ( H S )
+
+insert R1 h1 r1 c1
+insert R2 h1 t1 r1
+insert R4 c1 s1 gA
+)";
+
+TEST(TextFormatTest, ParsesSchemeAndState) {
+  Result<ParsedDatabase> db = ParseDatabaseText(kUniversity);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->scheme.size(), 5u);
+  EXPECT_TRUE(db->scheme.Validate().ok());
+  EXPECT_EQ(db->scheme.relation(1).keys.size(), 2u);
+  DatabaseState state = db->MakeState();
+  EXPECT_EQ(state.TupleCount(), 3u);
+  EXPECT_TRUE(IsConsistent(state));
+}
+
+TEST(TextFormatTest, InsertValuesFollowDeclaredOrder) {
+  Result<ParsedDatabase> db = ParseDatabaseText(R"(
+relation R ( B A ) keys ( A )
+insert R bval aval
+)");
+  ASSERT_TRUE(db.ok());
+  DatabaseState state = db->MakeState();
+  const PartialTuple& t = state.relation(0).tuples()[0];
+  AttributeId a = db->scheme.universe().Find("A").value();
+  AttributeId b = db->scheme.universe().Find("B").value();
+  EXPECT_EQ(db->values.Name(t.At(a)), "aval");
+  EXPECT_EQ(db->values.Name(t.At(b)), "bval");
+}
+
+TEST(TextFormatTest, RoundTripsThroughFormat) {
+  Result<ParsedDatabase> db = ParseDatabaseText(kUniversity);
+  ASSERT_TRUE(db.ok());
+  std::string text =
+      FormatScheme(db->scheme) + FormatState(db->MakeState(), db->values);
+  Result<ParsedDatabase> again = ParseDatabaseText(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << text;
+  EXPECT_EQ(again->scheme.size(), db->scheme.size());
+  EXPECT_EQ(again->inserts.size(), db->inserts.size());
+  EXPECT_EQ(FormatScheme(again->scheme), FormatScheme(db->scheme));
+}
+
+TEST(TextFormatTest, ParsedSchemeClassifies) {
+  Result<ParsedDatabase> db = ParseDatabaseText(kUniversity);
+  ASSERT_TRUE(db.ok());
+  SchemeClassification c = ClassifyScheme(db->scheme);
+  EXPECT_TRUE(c.independence_reducible);
+  EXPECT_TRUE(c.ctm);
+}
+
+TEST(TextFormatTest, ErrorsCarryLineNumbers) {
+  Result<ParsedDatabase> r = ParseDatabaseText("relation R ( A ) nokeys");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(TextFormatTest, RejectsUnknownRelationInInsert) {
+  Result<ParsedDatabase> r = ParseDatabaseText(R"(
+relation R ( A B ) keys ( A )
+insert Q 1 2
+)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TextFormatTest, RejectsArityMismatch) {
+  Result<ParsedDatabase> r = ParseDatabaseText(R"(
+relation R ( A B ) keys ( A )
+insert R 1
+)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TextFormatTest, RejectsKeyOutsideRelation) {
+  Result<ParsedDatabase> r =
+      ParseDatabaseText("relation R ( A B ) keys ( C )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TextFormatTest, RejectsDuplicateAttribute) {
+  Result<ParsedDatabase> r =
+      ParseDatabaseText("relation R ( A A ) keys ( A )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TextFormatTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseDatabaseText("").ok());
+  EXPECT_FALSE(ParseDatabaseText("# only a comment\n").ok());
+}
+
+TEST(ValueDictionaryTest, InternAndName) {
+  ValueDictionary dict;
+  Value a = dict.Intern("alpha");
+  EXPECT_EQ(dict.Intern("alpha"), a);
+  EXPECT_EQ(dict.Name(a), "alpha");
+  EXPECT_EQ(dict.Name(999), "?");
+  EXPECT_TRUE(dict.Has("alpha"));
+  EXPECT_FALSE(dict.Has("beta"));
+}
+
+}  // namespace
+}  // namespace ird

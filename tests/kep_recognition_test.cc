@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include "core/augmentation.h"
+#include "core/classify.h"
+#include "core/independence.h"
+#include "core/kep.h"
+#include "core/key_equivalence.h"
+#include "core/recognition.h"
+#include "core/split.h"
+#include "hypergraph/hypergraph.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+using test::Attrs;
+using Blocks = std::vector<std::vector<size_t>>;
+
+TEST(KepTest, Example13Partition) {
+  DatabaseScheme s = test::Example13();
+  Blocks partition = KeyEquivalentPartition(s);
+  // {{R1,R3,R4},{R2,R5,R6,R7},{R8}} — by index {{0,2,3},{1,4,5,6},{7}}.
+  ASSERT_EQ(partition.size(), 3u);
+  EXPECT_EQ(partition[0], (std::vector<size_t>{0, 2, 3}));
+  EXPECT_EQ(partition[1], (std::vector<size_t>{1, 4, 5, 6}));
+  EXPECT_EQ(partition[2], (std::vector<size_t>{7}));
+}
+
+TEST(KepTest, Example1Partition) {
+  DatabaseScheme s = test::Example1R();
+  Blocks partition = KeyEquivalentPartition(s);
+  ASSERT_EQ(partition.size(), 3u);
+  EXPECT_EQ(partition[0], (std::vector<size_t>{0, 1, 2}));  // HRC HTR HTC
+  EXPECT_EQ(partition[1], (std::vector<size_t>{3}));        // CSG
+  EXPECT_EQ(partition[2], (std::vector<size_t>{4}));        // HSR
+}
+
+TEST(KepTest, KeyEquivalentSchemeIsOneBlock) {
+  for (const DatabaseScheme& s :
+       {test::Example3(), test::Example4(), test::Example6()}) {
+    Blocks partition = KeyEquivalentPartition(s);
+    ASSERT_EQ(partition.size(), 1u);
+    EXPECT_EQ(partition[0].size(), s.size());
+  }
+}
+
+TEST(KepTest, BlocksAreKeyEquivalentAndMaximal) {
+  // Lemma 5.1: every block is key-equivalent. Lemma 5.2 (maximality): no
+  // union of two blocks is key-equivalent.
+  std::vector<DatabaseScheme> schemes = {
+      test::Example1R(), test::Example11(), test::Example13(),
+      MakeBlockScheme(3, 3), MakeIndependentScheme(4)};
+  for (const DatabaseScheme& s : schemes) {
+    Blocks partition = KeyEquivalentPartition(s);
+    for (const auto& block : partition) {
+      EXPECT_TRUE(IsKeyEquivalentSubset(s, block));
+    }
+    for (size_t i = 0; i < partition.size(); ++i) {
+      for (size_t j = i + 1; j < partition.size(); ++j) {
+        std::vector<size_t> merged = partition[i];
+        merged.insert(merged.end(), partition[j].begin(), partition[j].end());
+        EXPECT_FALSE(IsKeyEquivalentSubset(s, merged));
+      }
+    }
+  }
+}
+
+TEST(KepTest, PartitionIsOrderIndependent) {
+  // The key-equivalent partition of R is unique (§5.1): permuting the
+  // relation declarations must give the same partition up to the index
+  // renaming.
+  DatabaseScheme original = test::Example13();
+  std::vector<size_t> perm = {7, 2, 5, 0, 4, 6, 1, 3};  // new order
+  DatabaseScheme shuffled(original.universe_ptr());
+  for (size_t i : perm) {
+    shuffled.AddRelation(original.relation(i));
+  }
+  Blocks a = KeyEquivalentPartition(original);
+  Blocks b = KeyEquivalentPartition(shuffled);
+  // Translate b's indices back into original indices and compare as sets.
+  auto canonical = [](Blocks blocks) {
+    for (auto& block : blocks) std::sort(block.begin(), block.end());
+    std::sort(blocks.begin(), blocks.end());
+    return blocks;
+  };
+  Blocks b_translated;
+  for (const auto& block : b) {
+    std::vector<size_t> t;
+    for (size_t i : block) t.push_back(perm[i]);
+    b_translated.push_back(std::move(t));
+  }
+  EXPECT_EQ(canonical(a), canonical(b_translated));
+}
+
+TEST(IndependenceTest, Example1SchemesVerdicts) {
+  // The paper: R is NOT independent, S is independent.
+  EXPECT_FALSE(IsIndependent(test::Example1R()));
+  EXPECT_TRUE(IsIndependent(test::Example1S()));
+}
+
+TEST(IndependenceTest, GeneratedFamilies) {
+  EXPECT_TRUE(IsIndependent(MakeIndependentScheme(1)));
+  EXPECT_TRUE(IsIndependent(MakeIndependentScheme(5)));
+  EXPECT_FALSE(IsIndependent(test::Example3()));
+  EXPECT_FALSE(IsIndependent(test::Example4()));
+  // The star IS independent (removing one relation's key leaves the
+  // others' C -> Ai intact but never re-derives the removed Ai).
+  EXPECT_TRUE(IsIndependent(MakeStarScheme(3)));
+}
+
+TEST(IndependenceTest, ViolationWitnessIsMeaningful) {
+  auto violation = FindUniquenessViolation(test::Example1R());
+  ASSERT_TRUE(violation.has_value());
+  DatabaseScheme s = test::Example1R();
+  EXPECT_NE(violation->i, violation->j);
+  // Re-verify the witness: the closure really embeds the key dependency.
+  FdSet without_j = s.KeyDependenciesExcept(violation->j);
+  AttributeSet closure = without_j.Closure(s.relation(violation->i).attrs);
+  EXPECT_TRUE(violation->key.IsSubsetOf(closure));
+  EXPECT_TRUE(closure.Contains(violation->attribute));
+}
+
+TEST(RecognitionTest, Example1Accepted) {
+  DatabaseScheme s = test::Example1R();
+  RecognitionResult r = RecognizeIndependenceReducible(s);
+  EXPECT_TRUE(r.accepted);
+  ASSERT_EQ(r.partition.size(), 3u);
+  // D is Example 1's S up to naming.
+  ASSERT_TRUE(r.induced.has_value());
+  EXPECT_EQ(r.induced->size(), 3u);
+  EXPECT_EQ(r.induced->relation(0).attrs, Attrs(s, "HRCT"));
+  EXPECT_EQ(r.induced->relation(0).keys.size(), 2u);
+  EXPECT_TRUE(IsIndependent(*r.induced));
+}
+
+TEST(RecognitionTest, Example11Accepted) {
+  DatabaseScheme s = test::Example11();
+  RecognitionResult r = RecognizeIndependenceReducible(s);
+  EXPECT_TRUE(r.accepted);
+  ASSERT_EQ(r.partition.size(), 2u);
+  EXPECT_EQ(r.partition[0], (std::vector<size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(r.partition[1], (std::vector<size_t>{4, 5}));
+  EXPECT_EQ(r.induced->relation(0).attrs, Attrs(s, "ABCD"));
+  EXPECT_EQ(r.induced->relation(1).attrs, Attrs(s, "DEFG"));
+}
+
+TEST(RecognitionTest, Example2Rejected) {
+  // Example 2's scheme is not algebraic-maintainable, so it must not be
+  // independence-reducible.
+  RecognitionResult r = RecognizeIndependenceReducible(test::Example2());
+  EXPECT_FALSE(r.accepted);
+  ASSERT_TRUE(r.violation.has_value());
+}
+
+TEST(RecognitionTest, KeyEquivalentSchemesAccepted) {
+  // A key-equivalent scheme is trivially independence-reducible (one
+  // block).
+  for (const DatabaseScheme& s :
+       {test::Example3(), test::Example4(), test::Example6()}) {
+    EXPECT_TRUE(IsIndependenceReducible(s));
+  }
+}
+
+TEST(RecognitionTest, Theorem53IndependentSchemesAccepted) {
+  for (size_t m : {1u, 2u, 4u, 8u}) {
+    DatabaseScheme s = MakeIndependentScheme(m);
+    ASSERT_TRUE(IsIndependent(s));
+    EXPECT_TRUE(IsIndependenceReducible(s)) << m;
+  }
+  EXPECT_TRUE(IsIndependenceReducible(test::Example1S()));
+}
+
+TEST(RecognitionTest, Theorem52GammaAcyclicBcnfAccepted) {
+  // γ-acyclic cover-embedding BCNF schemes are accepted (Theorem 5.2).
+  std::vector<DatabaseScheme> schemes = {
+      MakeStarScheme(3), MakeChainScheme(4), test::Example1S(),
+      MakeIndependentScheme(3)};
+  for (const DatabaseScheme& s : schemes) {
+    if (!IsGammaAcyclic(Hypergraph::Of(s)) || !s.IsBcnf()) continue;
+    EXPECT_TRUE(IsIndependenceReducible(s)) << s.ToString();
+  }
+}
+
+TEST(RecognitionTest, BlockSchemeFamilyAccepted) {
+  for (size_t blocks : {1u, 2u, 4u}) {
+    for (size_t size : {2u, 3u}) {
+      DatabaseScheme s = MakeBlockScheme(blocks, size);
+      RecognitionResult r = RecognizeIndependenceReducible(s);
+      EXPECT_TRUE(r.accepted) << blocks << "x" << size;
+      EXPECT_EQ(r.partition.size(), blocks);
+    }
+  }
+}
+
+TEST(RecognitionTest, RandomSchemesRecognitionIsSelfConsistent) {
+  // For accepted random schemes: the partition's blocks are key-equivalent
+  // and the induced scheme independent (the definition of acceptance).
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    RandomSchemeOptions opt;
+    opt.universe_size = 7;
+    opt.relations = 5;
+    opt.seed = seed;
+    DatabaseScheme s = MakeRandomScheme(opt);
+    RecognitionResult r = RecognizeIndependenceReducible(s);
+    if (!r.accepted) continue;
+    for (const auto& block : r.partition) {
+      EXPECT_TRUE(IsKeyEquivalentSubset(s, block));
+    }
+    EXPECT_TRUE(IsIndependent(*r.induced));
+  }
+}
+
+TEST(AugmentationTest, Theorem43ClosureUnderAugmentation) {
+  // Adding subsets of existing schemes preserves acceptance.
+  std::vector<DatabaseScheme> schemes = {test::Example1R(), test::Example4(),
+                                         test::Example11(),
+                                         MakeIndependentScheme(3)};
+  for (DatabaseScheme s : schemes) {
+    ASSERT_TRUE(IsIndependenceReducible(s));
+    // Augment with every 2-subset of the first relation and a key subset.
+    // (Copy the attrs: Augment appends to the relation vector, which can
+    // reallocate and invalidate references into it.)
+    const AttributeSet r0_attrs = s.relation(0).attrs;
+    std::vector<AttributeId> attrs = r0_attrs.ToVector();
+    size_t added = 0;
+    for (size_t i = 0; i < attrs.size() && added < 3; ++i) {
+      for (size_t j = i + 1; j < attrs.size() && added < 3; ++j) {
+        AttributeSet sub{attrs[i], attrs[j]};
+        if (sub == r0_attrs) continue;
+        bool duplicate = false;
+        for (const RelationScheme& r : s.relations()) {
+          if (r.attrs == sub) duplicate = true;
+        }
+        if (duplicate) continue;
+        ASSERT_TRUE(Augment(&s, "Aug" + std::to_string(added), sub).ok());
+        ++added;
+        EXPECT_TRUE(IsIndependenceReducible(s))
+            << "after augmenting with " << s.universe().Format(sub);
+      }
+    }
+  }
+}
+
+TEST(AugmentationTest, AugmentRejectsNonSubsets) {
+  DatabaseScheme s = test::Example9();
+  AttributeSet ace = Attrs(s, "ACE");  // not inside any relation
+  EXPECT_FALSE(Augment(&s, "bad", ace).ok());
+  EXPECT_FALSE(Augment(&s, "bad", AttributeSet()).ok());
+}
+
+TEST(AugmentationTest, Corollary42ReductionInvariance) {
+  std::vector<DatabaseScheme> schemes = {test::Example1R(), test::Example4(),
+                                         test::Example2()};
+  for (DatabaseScheme s : schemes) {
+    bool before = IsIndependenceReducible(s);
+    // Augment with subsets (keeps the verdict by Theorem 4.3)...
+    const RelationScheme& r0 = s.relation(0);
+    AttributeSet sub{r0.attrs.ToVector()[0]};
+    if (Augment(&s, "Sub", sub).ok()) {
+      // ... then reduce away; the verdict must be unchanged.
+      DatabaseScheme reduced = Reduce(s);
+      EXPECT_EQ(IsIndependenceReducible(reduced), before);
+    }
+  }
+}
+
+TEST(AugmentationTest, ReduceDropsContainedSchemes) {
+  DatabaseScheme s = test::Example8();  // R2(AB) ⊂ R3(ABC)
+  DatabaseScheme reduced = Reduce(s);
+  EXPECT_LT(reduced.size(), s.size());
+  for (size_t i = 0; i < reduced.size(); ++i) {
+    for (size_t j = 0; j < reduced.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(
+            reduced.relation(i).attrs.IsSubsetOf(reduced.relation(j).attrs));
+      }
+    }
+  }
+}
+
+TEST(ClassifyTest, Example1Report) {
+  SchemeClassification c = ClassifyScheme(test::Example1R());
+  EXPECT_TRUE(c.valid.ok());
+  EXPECT_TRUE(c.bcnf);
+  EXPECT_FALSE(c.independent);
+  EXPECT_FALSE(c.gamma_acyclic);
+  EXPECT_FALSE(c.key_equivalent);
+  EXPECT_TRUE(c.independence_reducible);
+  EXPECT_TRUE(c.split_free);
+  EXPECT_TRUE(c.bounded);
+  EXPECT_TRUE(c.algebraic_maintainable);
+  EXPECT_TRUE(c.ctm);  // the paper: "not only bounded, but ctm"
+  EXPECT_FALSE(c.ToString(test::Example1R()).empty());
+}
+
+TEST(ClassifyTest, Example4Report) {
+  SchemeClassification c = ClassifyScheme(test::Example4());
+  EXPECT_TRUE(c.key_equivalent);
+  EXPECT_TRUE(c.independence_reducible);
+  EXPECT_FALSE(c.split_free);
+  EXPECT_TRUE(c.bounded);
+  EXPECT_TRUE(c.algebraic_maintainable);
+  EXPECT_FALSE(c.ctm);  // split ⇒ not ctm (Theorem 3.4)
+}
+
+TEST(ClassifyTest, Example2Report) {
+  SchemeClassification c = ClassifyScheme(test::Example2());
+  EXPECT_FALSE(c.independence_reducible);
+  EXPECT_FALSE(c.bounded);
+  EXPECT_FALSE(c.ctm);
+}
+
+TEST(ClassifyTest, InclusionChainOnManySchemes) {
+  // independent ⊆ independence-reducible; ctm ⊆ algebraic-maintainable.
+  std::vector<DatabaseScheme> schemes = {
+      test::Example1R(), test::Example1S(), test::Example2(),
+      test::Example3(),  test::Example4(),  test::Example6(),
+      test::Example8(),  test::Example9(),  test::Example11(),
+      test::Example13(), MakeChainScheme(4), MakeSplitScheme(2),
+      MakeStarScheme(3), MakeIndependentScheme(3), MakeBlockScheme(2, 2)};
+  for (const DatabaseScheme& s : schemes) {
+    SchemeClassification c = ClassifyScheme(s, s.size() <= 10);
+    if (c.independent) {
+      EXPECT_TRUE(c.independence_reducible) << s.ToString();
+    }
+    if (c.key_equivalent) {
+      EXPECT_TRUE(c.independence_reducible) << s.ToString();
+    }
+    if (c.ctm) {
+      EXPECT_TRUE(c.algebraic_maintainable) << s.ToString();
+      EXPECT_TRUE(c.bounded) << s.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ird

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/key_equivalence.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+using test::Attrs;
+
+TEST(SchemeClosureTest, Algorithm3ReachesFixpoint) {
+  DatabaseScheme s = test::Example9();  // chain AB-BC-CD-DE
+  SchemeClosure closure = ComputeSchemeClosure(s, 0);
+  EXPECT_EQ(closure.closure, Attrs(s, "ABCDE"));
+  // The chain absorbs R2, R3, R4 in order.
+  ASSERT_EQ(closure.steps.size(), 3u);
+  EXPECT_EQ(closure.steps[0].scheme_index, 1u);
+  EXPECT_EQ(closure.steps[0].closure_before, Attrs(s, "AB"));
+}
+
+TEST(SchemeClosureTest, OneWayKeysStopTheClosure) {
+  DatabaseScheme s = DatabaseScheme::Create();
+  s.AddRelation("R1", "AB", {"A"});
+  s.AddRelation("R2", "BC", {"B"});
+  // From R2, B -> C but nothing reaches A.
+  EXPECT_EQ(ComputeSchemeClosure(s, 1).closure, Attrs(s, "BC"));
+  EXPECT_EQ(ComputeSchemeClosure(s, 0).closure, Attrs(s, "ABC"));
+}
+
+TEST(SchemeClosureTest, PoolRestrictsTheComputation) {
+  DatabaseScheme s = test::Example9();
+  // Only R1 and R2 in the pool: closure of R1 stops at ABC.
+  EXPECT_EQ(ComputeSchemeClosure(s, 0, {0, 1}).closure, Attrs(s, "ABC"));
+}
+
+TEST(SchemeClosureTest, MatchesAttributeClosure) {
+  // Algorithm 3's scheme-level closure equals the FD attribute closure for
+  // embedded key dependencies.
+  std::vector<DatabaseScheme> schemes = {test::Example1R(), test::Example4(),
+                                         test::Example8(), test::Example13()};
+  for (const DatabaseScheme& s : schemes) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      EXPECT_EQ(ComputeSchemeClosure(s, i).closure,
+                s.key_dependencies().Closure(s.relation(i).attrs))
+          << s.relation(i).name;
+    }
+  }
+}
+
+TEST(KeyEquivalenceTest, PaperExamples) {
+  EXPECT_TRUE(IsKeyEquivalent(test::Example3()));
+  EXPECT_TRUE(IsKeyEquivalent(test::Example4()));
+  EXPECT_TRUE(IsKeyEquivalent(test::Example6()));
+  EXPECT_TRUE(IsKeyEquivalent(test::Example8()));
+  EXPECT_TRUE(IsKeyEquivalent(test::Example9()));
+  // Example 1's R is NOT key-equivalent (CSG does not reach H).
+  EXPECT_FALSE(IsKeyEquivalent(test::Example1R()));
+  // Example 11 is not key-equivalent as a whole (DEF does not reach A).
+  EXPECT_FALSE(IsKeyEquivalent(test::Example11()));
+  // Example 2's scheme: AB's closure misses nothing? AB -> nothing beyond
+  // C; closure(R2) = BC misses A.
+  EXPECT_FALSE(IsKeyEquivalent(test::Example2()));
+}
+
+TEST(KeyEquivalenceTest, SubsetPools) {
+  DatabaseScheme s = test::Example11();
+  // The blocks of Example 11's partition are each key-equivalent.
+  EXPECT_TRUE(IsKeyEquivalentSubset(s, {0, 1, 2, 3}));
+  EXPECT_TRUE(IsKeyEquivalentSubset(s, {4, 5}));
+  // A mixed pool is not.
+  EXPECT_FALSE(IsKeyEquivalentSubset(s, {0, 4}));
+}
+
+TEST(KeyEquivalenceTest, GeneratedFamilies) {
+  for (size_t n : {1u, 3u, 6u}) {
+    EXPECT_TRUE(IsKeyEquivalent(MakeChainScheme(n))) << n;
+  }
+  for (size_t k : {2u, 3u, 5u}) {
+    EXPECT_TRUE(IsKeyEquivalent(MakeSplitScheme(k))) << k;
+  }
+  // The independent snowflake is not key-equivalent for m >= 2.
+  EXPECT_FALSE(IsKeyEquivalent(MakeIndependentScheme(3)));
+  EXPECT_TRUE(IsKeyEquivalent(MakeIndependentScheme(1)));
+  // The star is key-equivalent (C is a key of every relation).
+  EXPECT_TRUE(IsKeyEquivalent(MakeStarScheme(4)));
+}
+
+TEST(KeyEquivalenceTest, KeyEquivalentImpliesBcnf) {
+  // Lemma 3.1 on the key-equivalent examples and generated families.
+  std::vector<DatabaseScheme> schemes = {
+      test::Example3(),    test::Example4(), test::Example6(),
+      test::Example8(),    test::Example9(), MakeChainScheme(5),
+      MakeSplitScheme(3),  MakeStarScheme(3)};
+  for (const DatabaseScheme& s : schemes) {
+    ASSERT_TRUE(IsKeyEquivalent(s));
+    EXPECT_TRUE(s.IsBcnf()) << s.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ird

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "core/ctm_maintainer.h"
+#include "core/key_equivalent_maintainer.h"
+#include "core/split.h"
+#include "core/tuple_extension.h"
+#include "relation/weak_instance.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+using test::Attrs;
+using test::Tuple;
+
+// --- Algorithm 2 (algebraic maintenance) ------------------------------------
+
+TEST(Algorithm2Test, Example6RejectsTheInsert) {
+  // Example 6: state {<a,c> in R2, <b,d> in R5, <c,d,e> in R6}; inserting
+  // <a, b, e'> into R1(ABE) must output "no": the keys A, B, E yield
+  // <a,c>, <b,d>, <e'>, then the key CD yields <c,d,e> and e ≠ e'.
+  DatabaseScheme s = test::Example6();
+  constexpr Value a = 1, b = 2, c = 3, d = 4, e = 5, e2 = 6;
+  DatabaseState state(s);
+  state.mutable_relation(1).Add(Tuple(s, "AC", {a, c}));
+  state.mutable_relation(4).Add(Tuple(s, "BD", {b, d}));
+  state.mutable_relation(5).Add(Tuple(s, "CDE", {c, d, e}));
+  Result<KeyEquivalentMaintainer> m =
+      KeyEquivalentMaintainer::Create(std::move(state));
+  ASSERT_TRUE(m.ok());
+  Result<PartialTuple> verdict =
+      m->CheckInsert(0, Tuple(s, "ABE", {a, b, e2}));
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kInconsistent);
+  // Inserting with the matching E value is fine.
+  EXPECT_TRUE(m->CheckInsert(0, Tuple(s, "ABE", {a, b, e})).ok());
+}
+
+TEST(Algorithm2Test, Example7RejectsTheInsert) {
+  // Example 7: r1={<a,b>}, r2={<a,c>}, r4={<e1,b>,...,<en,b>}, r5={<e1,c>}.
+  // The total tuple embedding "a" is <a,b,c,e1>, derived through the chain
+  // E -> B/C, then BC -> D, D -> A (the expression
+  // σ_{A=a}(R1 ⋈ R2 ⋈ (R4 ⋈ R5)) of the paper). Inserting <a,e> into
+  // R3(AE) is therefore inconsistent; <a,e1> is fine.
+  DatabaseScheme s = test::Example4();
+  constexpr Value a = 1, b = 2, c = 3, e = 10, e1 = 11, e2 = 12, e3 = 13;
+  DatabaseState state(s);
+  state.mutable_relation(0).Add(Tuple(s, "AB", {a, b}));
+  state.mutable_relation(1).Add(Tuple(s, "AC", {a, c}));
+  state.mutable_relation(3).Add(Tuple(s, "EB", {e1, b}));
+  state.mutable_relation(3).Add(Tuple(s, "EB", {e2, b}));
+  state.mutable_relation(3).Add(Tuple(s, "EB", {e3, b}));
+  state.mutable_relation(4).Add(Tuple(s, "EC", {e1, c}));
+  Result<KeyEquivalentMaintainer> m =
+      KeyEquivalentMaintainer::Create(std::move(state));
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->CheckInsert(2, Tuple(s, "AE", {a, e})).ok());
+  Result<PartialTuple> accept = m->CheckInsert(2, Tuple(s, "AE", {a, e1}));
+  ASSERT_TRUE(accept.ok());
+  EXPECT_EQ(accept->At(s.universe().Find("B").value()), b);
+}
+
+TEST(Algorithm2Test, AcceptReturnsExtendedTuple) {
+  DatabaseScheme s = test::Example9();
+  DatabaseState state(s);
+  state.Insert("R2", {2, 3});  // B C
+  Result<KeyEquivalentMaintainer> m =
+      KeyEquivalentMaintainer::Create(std::move(state));
+  ASSERT_TRUE(m.ok());
+  Result<PartialTuple> q = m->CheckInsert(0, Tuple(s, "AB", {1, 2}));
+  ASSERT_TRUE(q.ok());
+  // q extends through B to the <2,3> fragment.
+  EXPECT_TRUE(q->DefinedOnAll(Attrs(s, "ABC")));
+  EXPECT_EQ(q->At(s.universe().Find("C").value()), 3);
+}
+
+TEST(Algorithm2Test, AgreesWithChaseOnStreams) {
+  // Property: Algorithm 2's verdict == full-chase verdict, on both split
+  // and split-free key-equivalent schemes.
+  std::vector<DatabaseScheme> schemes = {MakeChainScheme(3),
+                                         MakeSplitScheme(2), MakeStarScheme(3),
+                                         test::Example4(), test::Example6()};
+  for (const DatabaseScheme& s : schemes) {
+    StateGenOptions opt;
+    opt.entities = 25;
+    opt.coverage = 0.6;
+    opt.seed = 5;
+    DatabaseState state = MakeConsistentState(s, opt);
+    Result<KeyEquivalentMaintainer> m = KeyEquivalentMaintainer::Create(state);
+    ASSERT_TRUE(m.ok());
+    std::vector<InsertInstance> stream =
+        MakeInsertStream(s, state, 40, 0.4, 99);
+    for (const InsertInstance& ins : stream) {
+      bool chase_verdict = WouldRemainConsistent(state, ins.rel, ins.tuple);
+      bool alg2_verdict = m->CheckInsert(ins.rel, ins.tuple).ok();
+      EXPECT_EQ(alg2_verdict, chase_verdict)
+          << s.relation(ins.rel).name << " "
+          << ins.tuple.ToString(s.universe());
+      EXPECT_EQ(chase_verdict, ins.expected_consistent);
+    }
+  }
+}
+
+TEST(Algorithm2Test, AppliedInsertsKeepTheMaintainerInSync) {
+  DatabaseScheme s = MakeChainScheme(3);
+  DatabaseState initial(s);
+  Result<KeyEquivalentMaintainer> m = KeyEquivalentMaintainer::Create(initial);
+  ASSERT_TRUE(m.ok());
+  std::vector<InsertInstance> stream =
+      MakeInsertStream(s, initial, 60, 0.3, 7);
+  for (const InsertInstance& ins : stream) {
+    bool chase_verdict =
+        WouldRemainConsistent(m->state(), ins.rel, ins.tuple);
+    Status applied = m->Insert(ins.rel, ins.tuple);
+    EXPECT_EQ(applied.ok(), chase_verdict);
+  }
+  EXPECT_TRUE(IsConsistent(m->state()));
+}
+
+TEST(Algorithm2Test, CreateRejectsNonKeyEquivalentScheme) {
+  DatabaseState state(test::Example1R());
+  Result<KeyEquivalentMaintainer> m = KeyEquivalentMaintainer::Create(state);
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Algorithm2Test, CreateRejectsInconsistentState) {
+  DatabaseScheme s = MakeChainScheme(2);
+  DatabaseState state(s);
+  state.Insert(0, {1, 2});
+  state.Insert(0, {1, 3});
+  EXPECT_FALSE(KeyEquivalentMaintainer::Create(state).ok());
+}
+
+// --- Algorithm 4 (tuple extension) ------------------------------------------
+
+TEST(Algorithm4Test, ExtendsAlongTheChain) {
+  DatabaseScheme s = test::Example9();
+  DatabaseState state(s);
+  state.Insert("R1", {1, 2});
+  state.Insert("R2", {2, 3});
+  state.Insert("R3", {3, 4});
+  Result<StateKeyIndex> idx = StateKeyIndex::Build(state);
+  ASSERT_TRUE(idx.ok());
+  ExtensionStats stats;
+  Result<PartialTuple> t =
+      ExtendTuple(s, *idx, Tuple(s, "A", {1}), &stats);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->attrs(), Attrs(s, "ABCD"));
+  EXPECT_EQ(stats.extensions, 3u);
+  // From the middle, both directions extend.
+  Result<PartialTuple> mid = ExtendTuple(s, *idx, Tuple(s, "C", {3}));
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->attrs(), Attrs(s, "ABCD"));
+}
+
+TEST(Algorithm4Test, UnknownKeyValueStaysPut) {
+  DatabaseScheme s = test::Example9();
+  DatabaseState state(s);
+  state.Insert("R1", {1, 2});
+  Result<StateKeyIndex> idx = StateKeyIndex::Build(state);
+  ASSERT_TRUE(idx.ok());
+  Result<PartialTuple> t = ExtendTuple(s, *idx, Tuple(s, "C", {42}));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->attrs(), Attrs(s, "C"));
+}
+
+TEST(Algorithm4Test, Lemma33KeyInterchangeability) {
+  // Lemma 3.3(b): on a split-free scheme, re-running Algorithm 4 from any
+  // key embedded in the result returns the same tuple.
+  DatabaseScheme s = MakeChainScheme(4);
+  StateGenOptions opt;
+  opt.entities = 20;
+  opt.seed = 3;
+  DatabaseState state = MakeConsistentState(s, opt);
+  Result<StateKeyIndex> idx = StateKeyIndex::Build(state);
+  ASSERT_TRUE(idx.ok());
+  for (const auto& [rel, key] : s.AllKeys()) {
+    for (const PartialTuple& tuple : state.relation(rel).tuples()) {
+      Result<PartialTuple> t =
+          ExtendTuple(s, *idx, tuple.Restrict(key));
+      ASSERT_TRUE(t.ok());
+      for (const auto& [rel2, key2] : s.AllKeys()) {
+        if (!key2.IsSubsetOf(t->attrs())) continue;
+        Result<PartialTuple> t2 =
+            ExtendTuple(s, *idx, t->Restrict(key2));
+        ASSERT_TRUE(t2.ok());
+        EXPECT_EQ(*t2, *t);
+      }
+    }
+  }
+}
+
+// --- Algorithm 5 (constant-time maintenance) --------------------------------
+
+TEST(Algorithm5Test, Example10RejectsTheInsert) {
+  // Example 10: S = triangle with singleton keys; s1 = {<a,b>},
+  // s2 = {<b,c>}, s3 = ∅. Inserting <a,c'> into s3 gives
+  // q = {<a,c'>} ⋈ {<a,b,c>} ⋈ {<c'>} = ∅ -> "no".
+  DatabaseScheme s = test::Example3();
+  constexpr Value a = 1, b = 2, c = 3, c2 = 4;
+  DatabaseState state(s);
+  state.Insert("R1", {a, b});
+  state.Insert("R2", {b, c});
+  Result<CtmMaintainer> m = CtmMaintainer::Create(std::move(state));
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->CheckInsert(2, Tuple(s, "AC", {a, c2})).ok());
+  EXPECT_TRUE(m->CheckInsert(2, Tuple(s, "AC", {a, c})).ok());
+}
+
+TEST(Algorithm5Test, CreateRejectsSplitScheme) {
+  // Example 4/5's scheme is key-equivalent but split: Algorithm 5 is not
+  // applicable (Corollary 3.3).
+  DatabaseState state(test::Example4());
+  Result<CtmMaintainer> m = CtmMaintainer::Create(state);
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Algorithm5Test, AgreesWithChaseOnStreams) {
+  std::vector<DatabaseScheme> schemes = {
+      MakeChainScheme(3), MakeChainScheme(6), MakeStarScheme(4),
+      test::Example3(), test::Example9()};
+  for (const DatabaseScheme& s : schemes) {
+    ASSERT_TRUE(IsSplitFree(s));
+    StateGenOptions opt;
+    opt.entities = 25;
+    opt.coverage = 0.6;
+    opt.seed = 13;
+    DatabaseState state = MakeConsistentState(s, opt);
+    Result<CtmMaintainer> m = CtmMaintainer::Create(state);
+    ASSERT_TRUE(m.ok());
+    std::vector<InsertInstance> stream =
+        MakeInsertStream(s, state, 40, 0.4, 17);
+    for (const InsertInstance& ins : stream) {
+      bool chase_verdict = WouldRemainConsistent(state, ins.rel, ins.tuple);
+      EXPECT_EQ(m->CheckInsert(ins.rel, ins.tuple).ok(), chase_verdict)
+          << s.relation(ins.rel).name << " "
+          << ins.tuple.ToString(s.universe());
+    }
+  }
+}
+
+TEST(Algorithm5Test, AppliedInsertsKeepIndexesInSync) {
+  DatabaseScheme s = MakeChainScheme(4);
+  DatabaseState initial(s);
+  Result<CtmMaintainer> m = CtmMaintainer::Create(initial);
+  ASSERT_TRUE(m.ok());
+  std::vector<InsertInstance> stream =
+      MakeInsertStream(s, initial, 60, 0.3, 29);
+  for (const InsertInstance& ins : stream) {
+    bool chase_verdict =
+        WouldRemainConsistent(m->state(), ins.rel, ins.tuple);
+    EXPECT_EQ(m->Insert(ins.rel, ins.tuple).ok(), chase_verdict);
+  }
+  EXPECT_TRUE(IsConsistent(m->state()));
+}
+
+TEST(Algorithm5Test, ProbeCountIndependentOfStateSize) {
+  // The ctm property itself: the number of index probes per CheckInsert
+  // does not grow with the state.
+  DatabaseScheme s = MakeChainScheme(4);
+  size_t probes_small = 0;
+  size_t probes_large = 0;
+  for (size_t entities : {20u, 2000u}) {
+    StateGenOptions opt;
+    opt.entities = entities;
+    opt.seed = 31;
+    DatabaseState state = MakeConsistentState(s, opt);
+    Result<CtmMaintainer> m = CtmMaintainer::Create(std::move(state), false);
+    ASSERT_TRUE(m.ok());
+    ExtensionStats stats;
+    // A fresh tuple probes the same (relation, key) pairs whatever the
+    // state contains.
+    PartialTuple probe = m->state().MakeTuple(0, {1000000, 1000001});
+    ASSERT_TRUE(m->CheckInsert(0, probe, &stats).ok());
+    (entities == 20u ? probes_small : probes_large) = stats.probes;
+  }
+  EXPECT_EQ(probes_small, probes_large);
+  EXPECT_GT(probes_small, 0u);
+}
+
+// --- Algorithms 2 and 5 agree on split-free schemes --------------------------
+
+TEST(MaintainerAgreementTest, Alg2AndAlg5SameVerdicts) {
+  DatabaseScheme s = MakeChainScheme(5);
+  StateGenOptions opt;
+  opt.entities = 30;
+  opt.seed = 41;
+  DatabaseState state = MakeConsistentState(s, opt);
+  Result<KeyEquivalentMaintainer> m2 = KeyEquivalentMaintainer::Create(state);
+  Result<CtmMaintainer> m5 = CtmMaintainer::Create(state);
+  ASSERT_TRUE(m2.ok());
+  ASSERT_TRUE(m5.ok());
+  std::vector<InsertInstance> stream =
+      MakeInsertStream(s, state, 50, 0.5, 43);
+  for (const InsertInstance& ins : stream) {
+    EXPECT_EQ(m2->CheckInsert(ins.rel, ins.tuple).ok(),
+              m5->CheckInsert(ins.rel, ins.tuple).ok());
+  }
+}
+
+}  // namespace
+}  // namespace ird

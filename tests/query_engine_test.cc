@@ -1,0 +1,70 @@
+#include "core/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "relation/weak_instance.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+using test::Attrs;
+
+TEST(QueryEngineTest, RejectsNonReducibleSchemes) {
+  Result<QueryEngine> engine = QueryEngine::Create(test::Example2());
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryEngineTest, PlansAreCached) {
+  Result<QueryEngine> engine = QueryEngine::Create(test::Example1R());
+  ASSERT_TRUE(engine.ok());
+  AttributeSet hsc = Attrs(engine->scheme(), "HSC");
+  ExprPtr first = engine->PlanFor(hsc);
+  ExprPtr second = engine->PlanFor(hsc);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(engine->cache_misses(), 1u);
+  EXPECT_EQ(engine->cache_hits(), 1u);
+  engine->PlanFor(Attrs(engine->scheme(), "TC"));
+  EXPECT_EQ(engine->cache_misses(), 2u);
+}
+
+TEST(QueryEngineTest, UncoverableProjectionIsEmpty) {
+  DatabaseScheme s = DatabaseScheme::Create();
+  s.AddRelation("R1", "AB", {"A"});
+  s.AddRelation("R2", "CD", {"C"});
+  Result<QueryEngine> engine = QueryEngine::Create(s);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->PlanFor(Attrs(s, "AC")), nullptr);
+  DatabaseState state(s);
+  state.Insert("R1", {1, 2});
+  state.Insert("R2", {3, 4});
+  EXPECT_TRUE(engine->TotalProjection(state, Attrs(s, "AC")).empty());
+}
+
+TEST(QueryEngineTest, MatchesChaseAcrossStatesAndTargets) {
+  std::vector<DatabaseScheme> schemes = {test::Example1R(), test::Example11(),
+                                         MakeBlockScheme(2, 3)};
+  for (const DatabaseScheme& s : schemes) {
+    Result<QueryEngine> engine = QueryEngine::Create(s);
+    ASSERT_TRUE(engine.ok());
+    for (uint64_t seed : {3u, 4u}) {
+      StateGenOptions opt;
+      opt.entities = 12;
+      opt.seed = seed;
+      DatabaseState state = MakeConsistentState(s, opt);
+      for (const RelationScheme& r : s.relations()) {
+        PartialRelation answer = engine->TotalProjection(state, r.attrs);
+        Result<PartialRelation> chase = TotalProjectionByChase(state, r.attrs);
+        ASSERT_TRUE(chase.ok());
+        EXPECT_TRUE(answer.SetEquals(*chase)) << r.name;
+      }
+    }
+    // The second state reused every cached plan.
+    EXPECT_GT(engine->cache_hits(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ird

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/split.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+using test::Attrs;
+
+TEST(SplitTest, Example8PerClosureVerdicts) {
+  // Example 8: BC is split in R1+, R2+ and R5+, but R3 and R4 are
+  // split-free.
+  DatabaseScheme s = test::Example8();
+  AttributeSet bc = Attrs(s, "BC");
+  EXPECT_TRUE(IsKeySplitInClosureOf(s, bc, 0));   // R1(AC)
+  EXPECT_TRUE(IsKeySplitInClosureOf(s, bc, 1));   // R2(AB)
+  EXPECT_FALSE(IsKeySplitInClosureOf(s, bc, 2));  // R3(ABC) contains BC
+  EXPECT_FALSE(IsKeySplitInClosureOf(s, bc, 3));  // R4(BCD) contains BC
+  EXPECT_TRUE(IsKeySplitInClosureOf(s, bc, 4));   // R5(AD)
+  // The other keys of Example 8 are not split.
+  EXPECT_FALSE(IsKeySplit(s, Attrs(s, "A")));
+  EXPECT_FALSE(IsKeySplit(s, Attrs(s, "D")));
+  EXPECT_TRUE(IsKeySplit(s, bc));
+  EXPECT_FALSE(IsSplitFree(s));
+}
+
+TEST(SplitTest, Example9IsSplitFree) {
+  // All keys are single attributes, so nothing can be split.
+  DatabaseScheme s = test::Example9();
+  EXPECT_TRUE(IsSplitFree(s));
+  EXPECT_TRUE(SplitKeys(s).empty());
+}
+
+TEST(SplitTest, Example4BCKeyIsSplit) {
+  // Example 5 argues Example 4's scheme is not ctm; the split key is BC.
+  DatabaseScheme s = test::Example4();
+  EXPECT_TRUE(IsKeySplit(s, Attrs(s, "BC")));
+  EXPECT_FALSE(IsKeySplit(s, Attrs(s, "A")));
+  EXPECT_FALSE(IsKeySplit(s, Attrs(s, "E")));
+  EXPECT_FALSE(IsKeySplit(s, Attrs(s, "D")));
+  std::vector<AttributeSet> split = SplitKeys(s);
+  ASSERT_EQ(split.size(), 1u);
+  EXPECT_EQ(split[0], Attrs(s, "BC"));
+}
+
+TEST(SplitTest, Example6IsSplitFree) {
+  // Example 6's keys {A, B, E, CD}: CD is coverable only through R6 itself
+  // (the schemes without CD are R1..R5; their closures never cover CD?
+  // closure of R2(AC) without R6: A determines B, E, C, D through R3...
+  // The efficient test decides; pin its agreement with the definition.
+  DatabaseScheme s = test::Example6();
+  EXPECT_EQ(IsKeySplit(s, Attrs(s, "CD")),
+            IsKeySplitByDefinition(s, Attrs(s, "CD")));
+}
+
+TEST(SplitTest, Lemma38AgreesWithDefinitionOnPaperSchemes) {
+  std::vector<DatabaseScheme> schemes = {test::Example3(), test::Example4(),
+                                         test::Example6(), test::Example8(),
+                                         test::Example9()};
+  for (const DatabaseScheme& s : schemes) {
+    for (const auto& [rel, key] : s.AllKeys()) {
+      EXPECT_EQ(IsKeySplit(s, key), IsKeySplitByDefinition(s, key))
+          << s.relation(rel).name << " key "
+          << s.universe().Format(key);
+    }
+  }
+}
+
+TEST(SplitTest, Lemma38AgreesWithDefinitionOnGeneratedSchemes) {
+  std::vector<DatabaseScheme> schemes = {
+      MakeChainScheme(5), MakeSplitScheme(2), MakeSplitScheme(4),
+      MakeStarScheme(4), MakeBlockScheme(2, 3)};
+  for (const DatabaseScheme& s : schemes) {
+    for (const auto& [rel, key] : s.AllKeys()) {
+      EXPECT_EQ(IsKeySplit(s, key), IsKeySplitByDefinition(s, key))
+          << s.ToString() << " key " << s.universe().Format(key);
+    }
+  }
+}
+
+TEST(SplitTest, GeneratedSplitSchemes) {
+  for (size_t k : {2u, 3u, 5u}) {
+    DatabaseScheme s = MakeSplitScheme(k);
+    EXPECT_FALSE(IsSplitFree(s)) << k;
+    // The split key is the B-block.
+    std::vector<AttributeSet> split = SplitKeys(s);
+    ASSERT_EQ(split.size(), 1u);
+    EXPECT_EQ(split[0].Count(), k);
+  }
+  for (size_t n : {2u, 4u, 7u}) {
+    EXPECT_TRUE(IsSplitFree(MakeChainScheme(n))) << n;
+  }
+}
+
+TEST(SplitTest, PoolRestrictedSplitness) {
+  // Within Example 11's blocks, everything is split-free.
+  DatabaseScheme s = test::Example11();
+  EXPECT_TRUE(IsSplitFree(s, {0, 1, 2, 3}));
+  EXPECT_TRUE(IsSplitFree(s, {4, 5}));
+}
+
+}  // namespace
+}  // namespace ird

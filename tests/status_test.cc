@@ -1,0 +1,81 @@
+#include "base/status.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/key_finder.h"
+
+namespace ird {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Inconsistent("no weak instance");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInconsistent);
+  EXPECT_EQ(s.message(), "no weak instance");
+  EXPECT_EQ(s.ToString(), "INCONSISTENT: no weak instance");
+}
+
+TEST(StatusTest, AllCodeNamesAreDistinct) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "PARSE_ERROR");
+}
+
+TEST(ResultTest, ValueAccess) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, ErrorAccess) {
+  Result<int> r = NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailsThenPropagates() {
+  IRD_RETURN_IF_ERROR(InvalidArgument("inner"));
+  return OkStatus();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  Status s = FailsThenPropagates();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+using StatusDeathTest = ::testing::Test;
+
+TEST(StatusDeathTest, ValueOnErrorAborts) {
+  Result<int> r = NotFound("gone");
+  EXPECT_DEATH(r.value(), "value\\(\\) on failed Result");
+}
+
+TEST(StatusDeathTest, GuardedExponentialApisAbortLoudly) {
+  // The exponential enumerations refuse oversized inputs instead of
+  // silently hanging.
+  AttributeSet huge = AttributeSet::AllUpTo(30);
+  FdSet empty;
+  EXPECT_DEATH(FindCandidateKeys(huge, empty), "exponential");
+}
+
+}  // namespace
+}  // namespace ird

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/classify.h"
+#include "core/independence.h"
+#include "core/key_equivalence.h"
+#include "core/recognition.h"
+#include "core/split.h"
+#include "relation/weak_instance.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+TEST(GeneratorTest, ChainSchemeGuarantees) {
+  for (size_t n : {1u, 2u, 5u, 9u}) {
+    DatabaseScheme s = MakeChainScheme(n);
+    EXPECT_TRUE(s.Validate().ok()) << s.ToString();
+    EXPECT_EQ(s.size(), n);
+    EXPECT_TRUE(IsKeyEquivalent(s));
+    EXPECT_TRUE(IsSplitFree(s));
+  }
+}
+
+TEST(GeneratorTest, SplitSchemeGuarantees) {
+  for (size_t k : {2u, 3u, 6u}) {
+    DatabaseScheme s = MakeSplitScheme(k);
+    EXPECT_TRUE(s.Validate().ok()) << s.ToString();
+    EXPECT_TRUE(IsKeyEquivalent(s));
+    EXPECT_FALSE(IsSplitFree(s));
+  }
+}
+
+TEST(GeneratorTest, IndependentSchemeGuarantees) {
+  for (size_t m : {1u, 2u, 5u, 10u}) {
+    DatabaseScheme s = MakeIndependentScheme(m);
+    EXPECT_TRUE(s.Validate().ok()) << s.ToString();
+    EXPECT_TRUE(IsIndependent(s));
+    EXPECT_TRUE(s.IsBcnf());
+  }
+}
+
+TEST(GeneratorTest, BlockSchemeGuarantees) {
+  for (size_t blocks : {1u, 2u, 4u}) {
+    for (size_t size : {2u, 4u}) {
+      DatabaseScheme s = MakeBlockScheme(blocks, size);
+      EXPECT_TRUE(s.Validate().ok()) << s.ToString();
+      RecognitionResult r = RecognizeIndependenceReducible(s);
+      EXPECT_TRUE(r.accepted);
+      EXPECT_EQ(r.partition.size(), blocks);
+    }
+  }
+}
+
+TEST(GeneratorTest, StarSchemeGuarantees) {
+  DatabaseScheme s = MakeStarScheme(5);
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_TRUE(s.IsBcnf());
+  EXPECT_TRUE(IsIndependent(s));
+  EXPECT_TRUE(IsKeyEquivalent(s));
+}
+
+TEST(GeneratorTest, ConsistentStatesAreConsistent) {
+  std::vector<DatabaseScheme> schemes = {MakeChainScheme(4),
+                                         MakeSplitScheme(3),
+                                         MakeBlockScheme(2, 3)};
+  for (const DatabaseScheme& s : schemes) {
+    for (uint64_t seed : {1u, 7u, 8u}) {
+      StateGenOptions opt;
+      opt.entities = 40;
+      opt.coverage = 0.5;
+      opt.seed = seed;
+      DatabaseState state = MakeConsistentState(s, opt);
+      EXPECT_GT(state.TupleCount(), 0u);
+      EXPECT_TRUE(IsConsistent(state)) << s.ToString();
+    }
+  }
+}
+
+TEST(GeneratorTest, CoverageOneFillsEveryRelation) {
+  DatabaseScheme s = MakeChainScheme(3);
+  StateGenOptions opt;
+  opt.entities = 10;
+  opt.coverage = 1.0;
+  DatabaseState state = MakeConsistentState(s, opt);
+  for (size_t rel = 0; rel < state.relation_count(); ++rel) {
+    EXPECT_EQ(state.relation(rel).size(), 10u);
+  }
+}
+
+TEST(GeneratorTest, InsertStreamExpectationsAreCorrect) {
+  DatabaseScheme s = MakeChainScheme(4);
+  StateGenOptions opt;
+  opt.entities = 30;
+  opt.seed = 2;
+  DatabaseState state = MakeConsistentState(s, opt);
+  std::vector<InsertInstance> stream = MakeInsertStream(s, state, 60, 0.5, 3);
+  size_t conflicts = 0;
+  for (const InsertInstance& ins : stream) {
+    EXPECT_EQ(WouldRemainConsistent(state, ins.rel, ins.tuple),
+              ins.expected_consistent);
+    conflicts += ins.expected_consistent ? 0 : 1;
+  }
+  // With conflict_rate 0.5, both kinds must appear.
+  EXPECT_GT(conflicts, 5u);
+  EXPECT_LT(conflicts, 55u);
+}
+
+TEST(GeneratorTest, RandomSchemesAreValid) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    RandomSchemeOptions opt;
+    opt.universe_size = 6 + seed % 3;
+    opt.relations = 3 + seed % 4;
+    opt.seed = seed;
+    DatabaseScheme s = MakeRandomScheme(opt);
+    Status valid = s.Validate();
+    EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << s.ToString();
+  }
+}
+
+TEST(GeneratorTest, RandomSchemesAreDeterministicPerSeed) {
+  RandomSchemeOptions opt;
+  opt.seed = 12;
+  EXPECT_EQ(MakeRandomScheme(opt).ToString(), MakeRandomScheme(opt).ToString());
+}
+
+}  // namespace
+}  // namespace ird
