@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example2.dir/bench_example2.cc.o"
+  "CMakeFiles/bench_example2.dir/bench_example2.cc.o.d"
+  "bench_example2"
+  "bench_example2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recognition.dir/bench_recognition.cc.o"
+  "CMakeFiles/bench_recognition.dir/bench_recognition.cc.o.d"
+  "bench_recognition"
+  "bench_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_split_kep.dir/bench_split_kep.cc.o"
+  "CMakeFiles/bench_split_kep.dir/bench_split_kep.cc.o.d"
+  "bench_split_kep"
+  "bench_split_kep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_split_kep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

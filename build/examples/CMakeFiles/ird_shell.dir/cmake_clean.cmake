@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ird_shell.dir/ird_shell.cpp.o"
+  "CMakeFiles/ird_shell.dir/ird_shell.cpp.o.d"
+  "ird_shell"
+  "ird_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ird_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_designer.dir/scheme_designer.cpp.o"
+  "CMakeFiles/scheme_designer.dir/scheme_designer.cpp.o.d"
+  "scheme_designer"
+  "scheme_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_workload.dir/university_workload.cpp.o"
+  "CMakeFiles/university_workload.dir/university_workload.cpp.o.d"
+  "university_workload"
+  "university_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

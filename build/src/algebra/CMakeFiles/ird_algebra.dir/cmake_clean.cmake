@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ird_algebra.dir/expression.cc.o"
+  "CMakeFiles/ird_algebra.dir/expression.cc.o.d"
+  "CMakeFiles/ird_algebra.dir/extension_join.cc.o"
+  "CMakeFiles/ird_algebra.dir/extension_join.cc.o.d"
+  "libird_algebra.a"
+  "libird_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ird_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ird_base.dir/attribute_set.cc.o"
+  "CMakeFiles/ird_base.dir/attribute_set.cc.o.d"
+  "CMakeFiles/ird_base.dir/status.cc.o"
+  "CMakeFiles/ird_base.dir/status.cc.o.d"
+  "CMakeFiles/ird_base.dir/universe.cc.o"
+  "CMakeFiles/ird_base.dir/universe.cc.o.d"
+  "libird_base.a"
+  "libird_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ird_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

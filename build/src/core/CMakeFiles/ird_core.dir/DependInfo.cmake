@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm1_literal.cc" "src/core/CMakeFiles/ird_core.dir/algorithm1_literal.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/algorithm1_literal.cc.o.d"
+  "/root/repo/src/core/augmentation.cc" "src/core/CMakeFiles/ird_core.dir/augmentation.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/augmentation.cc.o.d"
+  "/root/repo/src/core/block_maintainer.cc" "src/core/CMakeFiles/ird_core.dir/block_maintainer.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/block_maintainer.cc.o.d"
+  "/root/repo/src/core/classify.cc" "src/core/CMakeFiles/ird_core.dir/classify.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/classify.cc.o.d"
+  "/root/repo/src/core/consistency.cc" "src/core/CMakeFiles/ird_core.dir/consistency.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/consistency.cc.o.d"
+  "/root/repo/src/core/ctm_maintainer.cc" "src/core/CMakeFiles/ird_core.dir/ctm_maintainer.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/ctm_maintainer.cc.o.d"
+  "/root/repo/src/core/expression_maintenance.cc" "src/core/CMakeFiles/ird_core.dir/expression_maintenance.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/expression_maintenance.cc.o.d"
+  "/root/repo/src/core/independence.cc" "src/core/CMakeFiles/ird_core.dir/independence.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/independence.cc.o.d"
+  "/root/repo/src/core/independence_witness.cc" "src/core/CMakeFiles/ird_core.dir/independence_witness.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/independence_witness.cc.o.d"
+  "/root/repo/src/core/kep.cc" "src/core/CMakeFiles/ird_core.dir/kep.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/kep.cc.o.d"
+  "/root/repo/src/core/key_equivalence.cc" "src/core/CMakeFiles/ird_core.dir/key_equivalence.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/key_equivalence.cc.o.d"
+  "/root/repo/src/core/key_equivalent_maintainer.cc" "src/core/CMakeFiles/ird_core.dir/key_equivalent_maintainer.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/key_equivalent_maintainer.cc.o.d"
+  "/root/repo/src/core/query_engine.cc" "src/core/CMakeFiles/ird_core.dir/query_engine.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/query_engine.cc.o.d"
+  "/root/repo/src/core/recognition.cc" "src/core/CMakeFiles/ird_core.dir/recognition.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/recognition.cc.o.d"
+  "/root/repo/src/core/representative_index.cc" "src/core/CMakeFiles/ird_core.dir/representative_index.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/representative_index.cc.o.d"
+  "/root/repo/src/core/split.cc" "src/core/CMakeFiles/ird_core.dir/split.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/split.cc.o.d"
+  "/root/repo/src/core/split_witness.cc" "src/core/CMakeFiles/ird_core.dir/split_witness.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/split_witness.cc.o.d"
+  "/root/repo/src/core/state_key_index.cc" "src/core/CMakeFiles/ird_core.dir/state_key_index.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/state_key_index.cc.o.d"
+  "/root/repo/src/core/total_projection.cc" "src/core/CMakeFiles/ird_core.dir/total_projection.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/total_projection.cc.o.d"
+  "/root/repo/src/core/tuple_extension.cc" "src/core/CMakeFiles/ird_core.dir/tuple_extension.cc.o" "gcc" "src/core/CMakeFiles/ird_core.dir/tuple_extension.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/ird_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/ird_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/ird_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/tableau/CMakeFiles/ird_tableau.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/ird_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/ird_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ird_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ird_fd.dir/closure_engine.cc.o"
+  "CMakeFiles/ird_fd.dir/closure_engine.cc.o.d"
+  "CMakeFiles/ird_fd.dir/fd_set.cc.o"
+  "CMakeFiles/ird_fd.dir/fd_set.cc.o.d"
+  "CMakeFiles/ird_fd.dir/key_finder.cc.o"
+  "CMakeFiles/ird_fd.dir/key_finder.cc.o.d"
+  "libird_fd.a"
+  "libird_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ird_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypergraph/gamma_cycle.cc" "src/hypergraph/CMakeFiles/ird_hypergraph.dir/gamma_cycle.cc.o" "gcc" "src/hypergraph/CMakeFiles/ird_hypergraph.dir/gamma_cycle.cc.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cc" "src/hypergraph/CMakeFiles/ird_hypergraph.dir/hypergraph.cc.o" "gcc" "src/hypergraph/CMakeFiles/ird_hypergraph.dir/hypergraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/ird_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/ird_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ird_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

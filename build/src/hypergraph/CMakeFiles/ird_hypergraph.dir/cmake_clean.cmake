@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ird_hypergraph.dir/gamma_cycle.cc.o"
+  "CMakeFiles/ird_hypergraph.dir/gamma_cycle.cc.o.d"
+  "CMakeFiles/ird_hypergraph.dir/hypergraph.cc.o"
+  "CMakeFiles/ird_hypergraph.dir/hypergraph.cc.o.d"
+  "libird_hypergraph.a"
+  "libird_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ird_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ird_io.dir/text_format.cc.o"
+  "CMakeFiles/ird_io.dir/text_format.cc.o.d"
+  "libird_io.a"
+  "libird_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ird_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/database_state.cc" "src/relation/CMakeFiles/ird_relation.dir/database_state.cc.o" "gcc" "src/relation/CMakeFiles/ird_relation.dir/database_state.cc.o.d"
+  "/root/repo/src/relation/partial_tuple.cc" "src/relation/CMakeFiles/ird_relation.dir/partial_tuple.cc.o" "gcc" "src/relation/CMakeFiles/ird_relation.dir/partial_tuple.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/relation/CMakeFiles/ird_relation.dir/relation.cc.o" "gcc" "src/relation/CMakeFiles/ird_relation.dir/relation.cc.o.d"
+  "/root/repo/src/relation/weak_instance.cc" "src/relation/CMakeFiles/ird_relation.dir/weak_instance.cc.o" "gcc" "src/relation/CMakeFiles/ird_relation.dir/weak_instance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tableau/CMakeFiles/ird_tableau.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/ird_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/ird_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ird_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ird_relation.dir/database_state.cc.o"
+  "CMakeFiles/ird_relation.dir/database_state.cc.o.d"
+  "CMakeFiles/ird_relation.dir/partial_tuple.cc.o"
+  "CMakeFiles/ird_relation.dir/partial_tuple.cc.o.d"
+  "CMakeFiles/ird_relation.dir/relation.cc.o"
+  "CMakeFiles/ird_relation.dir/relation.cc.o.d"
+  "CMakeFiles/ird_relation.dir/weak_instance.cc.o"
+  "CMakeFiles/ird_relation.dir/weak_instance.cc.o.d"
+  "libird_relation.a"
+  "libird_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ird_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

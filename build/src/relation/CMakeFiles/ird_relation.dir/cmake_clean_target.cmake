@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libird_relation.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ird_schema.dir/database_scheme.cc.o"
+  "CMakeFiles/ird_schema.dir/database_scheme.cc.o.d"
+  "libird_schema.a"
+  "libird_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ird_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ird_tableau.dir/chase.cc.o"
+  "CMakeFiles/ird_tableau.dir/chase.cc.o.d"
+  "CMakeFiles/ird_tableau.dir/homomorphism.cc.o"
+  "CMakeFiles/ird_tableau.dir/homomorphism.cc.o.d"
+  "CMakeFiles/ird_tableau.dir/lossless.cc.o"
+  "CMakeFiles/ird_tableau.dir/lossless.cc.o.d"
+  "CMakeFiles/ird_tableau.dir/tableau.cc.o"
+  "CMakeFiles/ird_tableau.dir/tableau.cc.o.d"
+  "libird_tableau.a"
+  "libird_tableau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ird_tableau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

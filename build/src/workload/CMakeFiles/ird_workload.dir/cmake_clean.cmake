@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ird_workload.dir/generators.cc.o"
+  "CMakeFiles/ird_workload.dir/generators.cc.o.d"
+  "libird_workload.a"
+  "libird_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ird_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

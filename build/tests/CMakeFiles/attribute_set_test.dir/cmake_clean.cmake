@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_set_test.dir/attribute_set_test.cc.o"
+  "CMakeFiles/attribute_set_test.dir/attribute_set_test.cc.o.d"
+  "attribute_set_test"
+  "attribute_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_property_test.dir/chase_property_test.cc.o"
+  "CMakeFiles/chase_property_test.dir/chase_property_test.cc.o.d"
+  "chase_property_test"
+  "chase_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closure_engine_test.dir/closure_engine_test.cc.o"
+  "CMakeFiles/closure_engine_test.dir/closure_engine_test.cc.o.d"
+  "closure_engine_test"
+  "closure_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closure_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_cycle_test.dir/gamma_cycle_test.cc.o"
+  "CMakeFiles/gamma_cycle_test.dir/gamma_cycle_test.cc.o.d"
+  "gamma_cycle_test"
+  "gamma_cycle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_cycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/independence_semantics_test.dir/independence_semantics_test.cc.o"
+  "CMakeFiles/independence_semantics_test.dir/independence_semantics_test.cc.o.d"
+  "independence_semantics_test"
+  "independence_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/independence_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

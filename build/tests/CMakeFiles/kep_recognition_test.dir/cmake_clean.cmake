@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kep_recognition_test.dir/kep_recognition_test.cc.o"
+  "CMakeFiles/kep_recognition_test.dir/kep_recognition_test.cc.o.d"
+  "kep_recognition_test"
+  "kep_recognition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kep_recognition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

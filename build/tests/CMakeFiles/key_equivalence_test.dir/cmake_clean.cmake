@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_equivalence_test.dir/key_equivalence_test.cc.o"
+  "CMakeFiles/key_equivalence_test.dir/key_equivalence_test.cc.o.d"
+  "key_equivalence_test"
+  "key_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

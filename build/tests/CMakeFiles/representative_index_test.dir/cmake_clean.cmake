@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/representative_index_test.dir/representative_index_test.cc.o"
+  "CMakeFiles/representative_index_test.dir/representative_index_test.cc.o.d"
+  "representative_index_test"
+  "representative_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/representative_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

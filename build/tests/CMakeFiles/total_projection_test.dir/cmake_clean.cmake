@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/total_projection_test.dir/total_projection_test.cc.o"
+  "CMakeFiles/total_projection_test.dir/total_projection_test.cc.o.d"
+  "total_projection_test"
+  "total_projection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/total_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
