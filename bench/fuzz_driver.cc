@@ -1,0 +1,185 @@
+// Standalone differential-fuzzing campaign runner — the long-haul sibling
+// of tests/differential_fuzz_test.cc. Sweeps every generator family plus
+// random mutation stacks against the oracle layer, shrinks disagreements
+// and writes them into a corpus directory.
+//
+//   fuzz_driver [--seed N] [--count N] [--corpus DIR] [--max-relations N]
+//               [--mutations N] [--no-shrink]
+//
+//   --seed N           base seed (default 1)
+//   --count N          schemes per family (default 2000)
+//   --corpus DIR       where shrunk repros go (default tests/corpus)
+//   --max-relations N  skip schemes larger than this (default 10)
+//   --mutations N      max mutation stack per scheme (default 3)
+//   --no-shrink        write the unshrunk scheme (faster triage)
+//
+// Exit status: 0 = full agreement, 1 = disagreements found (repros
+// written), 2 = bad usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "oracle/corpus.h"
+#include "oracle/differential.h"
+#include "oracle/mutate.h"
+#include "oracle/shrink.h"
+#include "workload/generators.h"
+
+namespace ird::oracle {
+namespace {
+
+struct Args {
+  uint64_t seed = 1;
+  size_t count = 2000;
+  std::string corpus = "tests/corpus";
+  size_t max_relations = 10;
+  size_t mutations = 3;
+  bool shrink = true;
+};
+
+struct Family {
+  const char* name;
+  DatabaseScheme (*make)(size_t i, std::mt19937_64* rng);
+};
+
+const Family kFamilies[] = {
+    {"chain",
+     [](size_t, std::mt19937_64* rng) {
+       return MakeChainScheme(2 + (*rng)() % 6);
+     }},
+    {"split",
+     [](size_t, std::mt19937_64* rng) {
+       return MakeSplitScheme(2 + (*rng)() % 2);
+     }},
+    {"independent",
+     [](size_t, std::mt19937_64* rng) {
+       return MakeIndependentScheme(1 + (*rng)() % 6);
+     }},
+    {"block",
+     [](size_t, std::mt19937_64* rng) {
+       return MakeBlockScheme(1 + (*rng)() % 3, 2 + (*rng)() % 2);
+     }},
+    {"star",
+     [](size_t, std::mt19937_64* rng) {
+       return MakeStarScheme(1 + (*rng)() % 6);
+     }},
+    {"tree",
+     [](size_t, std::mt19937_64* rng) {
+       return MakeTreeScheme(2 + (*rng)() % 6, ((*rng)() % 3) / 2.0,
+                             (*rng)());
+     }},
+    {"random",
+     [](size_t, std::mt19937_64* rng) {
+       RandomSchemeOptions opt;
+       opt.universe_size = 5 + (*rng)() % 4;
+       opt.relations = 3 + (*rng)() % 4;
+       opt.min_arity = 2;
+       opt.max_arity = 3 + (*rng)() % 2;
+       opt.multi_key_prob = ((*rng)() % 3) * 0.3;
+       opt.seed = (*rng)();
+       return MakeRandomScheme(opt);
+     }},
+};
+
+std::string Sanitize(std::string tag) {
+  for (char& c : tag) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '-';
+  }
+  return tag;
+}
+
+int Run(const Args& args) {
+  size_t total = 0, skipped = 0, disagreements = 0;
+  for (const Family& family : kFamilies) {
+    std::mt19937_64 rng(args.seed ^ std::hash<std::string>{}(family.name));
+    size_t family_tested = 0;
+    for (size_t i = 0; i < args.count; ++i) {
+      DatabaseScheme scheme = family.make(i, &rng);
+      size_t stack = rng() % (args.mutations + 1);
+      for (size_t m = 0; m < stack; ++m) {
+        DatabaseScheme mutant = MutateScheme(scheme, &rng);
+        if (mutant.Validate().ok() && mutant.size() > 0) {
+          scheme = std::move(mutant);
+        }
+      }
+      if (!scheme.Validate().ok() || scheme.size() > args.max_relations) {
+        ++skipped;
+        continue;
+      }
+      ++total;
+      ++family_tested;
+
+      DifferentialOptions opt;
+      opt.seed = args.seed + i;
+      std::vector<Disagreement> found = CompareAgainstOracles(scheme, opt);
+      if (found.empty()) continue;
+      ++disagreements;
+      const Disagreement& first = found[0];
+      std::fprintf(stderr, "[%s/%zu] %s: %s\n", family.name, i,
+                   first.routine.c_str(), first.detail.c_str());
+      DatabaseScheme repro = scheme;
+      if (args.shrink) {
+        repro = ShrinkScheme(scheme, [&](const DatabaseScheme& s) {
+          return DisagreesOn(s, opt, first.routine);
+        });
+      }
+      std::string name = Sanitize(first.routine) + "-" + family.name + "-s" +
+                         std::to_string(args.seed) + "-" + std::to_string(i);
+      Status written = WriteCorpusFile(
+          args.corpus, name, repro,
+          {"routine: " + first.routine, "detail: " + first.detail,
+           "found by: fuzz_driver, " + std::string(family.name) +
+               " family, seed " + std::to_string(args.seed) + ", iteration " +
+               std::to_string(i)});
+      if (!written.ok()) {
+        std::fprintf(stderr, "corpus write failed: %s\n",
+                     written.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "  repro: %s/%s.scheme\n", args.corpus.c_str(),
+                     name.c_str());
+      }
+    }
+    std::fprintf(stderr, "%-12s %zu schemes\n", family.name, family_tested);
+  }
+  std::fprintf(stderr,
+               "done: %zu schemes tested, %zu skipped, %zu disagreements\n",
+               total, skipped, disagreements);
+  return disagreements == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ird::oracle
+
+int main(int argc, char** argv) {
+  ird::oracle::Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      args.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--count") == 0) {
+      args.count = std::strtoull(next("--count"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--corpus") == 0) {
+      args.corpus = next("--corpus");
+    } else if (std::strcmp(argv[i], "--max-relations") == 0) {
+      args.max_relations = std::strtoull(next("--max-relations"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--mutations") == 0) {
+      args.mutations = std::strtoull(next("--mutations"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
+      args.shrink = false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return ird::oracle::Run(args);
+}

@@ -1,0 +1,65 @@
+#include "oracle/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/text_format.h"
+
+namespace ird::oracle {
+
+namespace fs = std::filesystem;
+
+Status WriteCorpusFile(const std::string& dir, const std::string& name,
+                       const DatabaseScheme& scheme,
+                       const std::vector<std::string>& comments) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return InvalidArgument("cannot create " + dir + ": " + ec.message());
+  fs::path path = fs::path(dir) / (name + ".scheme");
+  std::ofstream out(path);
+  if (!out) return InvalidArgument("cannot open " + path.string());
+  for (const std::string& c : comments) out << "# " << c << "\n";
+  out << FormatScheme(scheme);
+  out.close();
+  if (!out) return InvalidArgument("short write to " + path.string());
+  return OkStatus();
+}
+
+Result<std::vector<CorpusEntry>> LoadCorpus(const std::string& dir) {
+  std::vector<CorpusEntry> corpus;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return corpus;
+  std::vector<fs::path> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".scheme") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& path : paths) {
+    std::ifstream in(path);
+    if (!in) return InvalidArgument("cannot read " + path.string());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    CorpusEntry entry;
+    entry.filename = path.filename().string();
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.rfind('#', 0) != 0) continue;
+      size_t start = line.find_first_not_of("# \t");
+      entry.comments.push_back(
+          start == std::string::npos ? "" : line.substr(start));
+    }
+    Result<ParsedDatabase> parsed = ParseDatabaseText(text);
+    if (!parsed.ok()) {
+      return ParseError(path.string() + ": " + parsed.status().message());
+    }
+    entry.scheme = std::move(parsed.value().scheme);
+    corpus.push_back(std::move(entry));
+  }
+  return corpus;
+}
+
+}  // namespace ird::oracle

@@ -1,0 +1,37 @@
+// The minimizing repro corpus: every scheme the differential fuzzer ever
+// caught disagreeing (shrunk first) lives as a `.scheme` file under
+// tests/corpus/ in io/text_format, with `#` header lines recording the
+// routine that disagreed and the seed that found it. corpus_replay_test
+// re-runs the whole directory on every ctest invocation.
+
+#ifndef IRD_ORACLE_CORPUS_H_
+#define IRD_ORACLE_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "schema/database_scheme.h"
+
+namespace ird::oracle {
+
+struct CorpusEntry {
+  std::string filename;  // basename, e.g. "split-chain-s42.scheme"
+  std::vector<std::string> comments;  // '#' header lines, markers stripped
+  DatabaseScheme scheme = DatabaseScheme::Create();
+};
+
+// Writes `<dir>/<name>.scheme` (creating `dir` if needed): one '# ' line
+// per comment, then the scheme in parseable text format.
+Status WriteCorpusFile(const std::string& dir, const std::string& name,
+                       const DatabaseScheme& scheme,
+                       const std::vector<std::string>& comments);
+
+// Parses every *.scheme file under `dir`, sorted by filename so replay
+// order is deterministic. A missing directory is an empty corpus, not an
+// error; an unparseable file is.
+Result<std::vector<CorpusEntry>> LoadCorpus(const std::string& dir);
+
+}  // namespace ird::oracle
+
+#endif  // IRD_ORACLE_CORPUS_H_

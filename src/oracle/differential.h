@@ -1,0 +1,75 @@
+// The differential harness: runs every optimized decision procedure and
+// engine of src/core/ and src/tableau/ against its definition-literal
+// oracle on one scheme, and reports every disagreement. This is the single
+// comparison routine shared by tests/differential_fuzz_test.cc, the
+// standalone bench/fuzz_driver.cc campaign runner, and the corpus replay —
+// and the predicate ShrinkScheme minimizes against.
+//
+// Routines pinned (left: optimized, right: oracle):
+//   chase            IsConsistent / WouldRemainConsistent / [X] by chase
+//                    vs the exhaustive pairwise chase (naive_chase.h)
+//   lossless         DatabaseScheme::IsLossless (BMSU closure) vs chased
+//                    scheme tableau
+//   key-equivalence  Algorithm 3 absorption vs FD-closure definition
+//   split            Lemma 3.8 and the BFS-by-definition vs the partial-
+//                    computation walk (naive_split.h)
+//   KEP              recursive refinement vs maximal key-equivalent
+//                    subsets by subset enumeration
+//   independence     uniqueness condition on ClosureEngine vs naive
+//                    closure, grounded by LSAT/WSAT states both ways
+//   recognition      Algorithm 6 vs set-partition enumeration
+//   classification   ClassifyScheme flags vs oracle-assembled flags
+//   projection       Theorem 4.1 expressions and RepresentativeIndex vs
+//                    naive [X]
+//   maintenance      Algorithms 2/5, block maintainer, §3.2 expression
+//                    lookup vs re-chasing the enlarged state exhaustively
+
+#ifndef IRD_ORACLE_DIFFERENTIAL_H_
+#define IRD_ORACLE_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/database_scheme.h"
+
+namespace ird::oracle {
+
+struct DifferentialOptions {
+  // Generated-state shape for the dynamic (state-level) comparisons.
+  size_t state_entities = 6;
+  double state_coverage = 0.7;
+  size_t insert_count = 8;
+  double conflict_rate = 0.4;
+  size_t projection_targets = 3;
+  // LSAT/WSAT grounding of the independence verdict.
+  size_t lsat_trials = 25;
+  size_t lsat_max_tuples = 2;
+  size_t lsat_domain = 2;
+  // Exponential-oracle guards: comparisons needing subset / set-partition
+  // enumeration are skipped above these relation counts.
+  size_t max_subset_enum = 12;
+  size_t max_partition_enum = 8;
+  // Seed for states, insert streams and projection targets.
+  uint64_t seed = 0;
+};
+
+struct Disagreement {
+  std::string routine;  // stable tag, e.g. "split/lemma38"
+  std::string detail;   // human-readable witness description
+};
+
+// Runs every applicable comparison. Empty result = full agreement. The
+// scheme must be valid (callers discard invalid mutants first).
+std::vector<Disagreement> CompareAgainstOracles(
+    const DatabaseScheme& scheme, const DifferentialOptions& options);
+
+// True iff some disagreement with this routine tag occurs — the shrink
+// predicate.
+bool DisagreesOn(const DatabaseScheme& scheme,
+                 const DifferentialOptions& options,
+                 const std::string& routine);
+
+}  // namespace ird::oracle
+
+#endif  // IRD_ORACLE_DIFFERENTIAL_H_

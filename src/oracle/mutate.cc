@@ -1,0 +1,152 @@
+#include "oracle/mutate.h"
+
+#include <algorithm>
+
+#include "fd/key_finder.h"
+
+namespace ird::oracle {
+
+namespace {
+
+// Rebuilds `relations` (attribute sets expressed in `source`'s universe)
+// over a fresh universe holding exactly the attributes the relations use.
+DatabaseScheme Rebuild(const DatabaseScheme& source,
+                       const std::vector<RelationScheme>& relations) {
+  DatabaseScheme out = DatabaseScheme::Create();
+  auto& u = *out.universe_ptr();
+  // Intern in source-id order so attribute ids transfer unchanged for the
+  // attributes that survive.
+  AttributeSet used;
+  for (const RelationScheme& r : relations) used.UnionWith(r.attrs);
+  std::vector<AttributeId> remap(source.universe().size(), 0);
+  used.ForEach([&](AttributeId a) {
+    remap[a] = u.Intern(source.universe().Name(a));
+  });
+  auto translate = [&](const AttributeSet& set) {
+    AttributeSet t;
+    set.ForEach([&](AttributeId a) { t.Add(remap[a]); });
+    return t;
+  };
+  for (const RelationScheme& r : relations) {
+    RelationScheme copy;
+    copy.name = r.name;
+    copy.attrs = translate(r.attrs);
+    for (const AttributeSet& key : r.keys) copy.keys.push_back(translate(key));
+    out.AddRelation(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace
+
+DatabaseScheme CloneScheme(const DatabaseScheme& scheme) {
+  return Rebuild(scheme, scheme.relations());
+}
+
+DatabaseScheme NormalizeKeyMinimality(const DatabaseScheme& scheme) {
+  DatabaseScheme out = CloneScheme(scheme);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const FdSet f = out.key_dependencies();
+    DatabaseScheme next(out.universe_ptr());
+    for (const RelationScheme& r : out.relations()) {
+      RelationScheme shrunk;
+      shrunk.name = r.name;
+      shrunk.attrs = r.attrs;
+      for (const AttributeSet& key : r.keys) {
+        AttributeSet reduced = ReduceToKey(key, r.attrs, f);
+        if (reduced != key) changed = true;
+        // Shrinking can collapse two declared keys into one.
+        bool known = false;
+        for (const AttributeSet& k : shrunk.keys) {
+          if (k == reduced) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) shrunk.keys.push_back(reduced);
+      }
+      next.AddRelation(std::move(shrunk));
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+DatabaseScheme MutateScheme(const DatabaseScheme& scheme,
+                            std::mt19937_64* rng) {
+  std::vector<RelationScheme> rels = scheme.relations();
+  const size_t n = rels.size();
+  switch ((*rng)() % 5) {
+    case 0: {  // drop a candidate key
+      std::vector<size_t> multi;
+      for (size_t i = 0; i < n; ++i) {
+        if (rels[i].keys.size() >= 2) multi.push_back(i);
+      }
+      if (multi.empty()) break;
+      RelationScheme& r = rels[multi[(*rng)() % multi.size()]];
+      r.keys.erase(r.keys.begin() + (*rng)() % r.keys.size());
+      break;
+    }
+    case 1: {  // add an attribute of U to a relation
+      size_t i = (*rng)() % n;
+      AttributeSet missing = scheme.AllAttrs().Minus(rels[i].attrs);
+      if (missing.Empty()) break;
+      std::vector<AttributeId> choices = missing.ToVector();
+      rels[i].attrs.Add(choices[(*rng)() % choices.size()]);
+      break;
+    }
+    case 2: {  // merge two relations
+      if (n < 2) break;
+      size_t i = (*rng)() % n;
+      size_t j = (*rng)() % n;
+      if (i == j) j = (j + 1) % n;
+      if (i > j) std::swap(i, j);
+      RelationScheme merged;
+      merged.name = rels[i].name + rels[j].name;
+      merged.attrs = rels[i].attrs.Union(rels[j].attrs);
+      merged.keys = rels[i].keys;
+      for (const AttributeSet& key : rels[j].keys) {
+        bool known = false;
+        for (const AttributeSet& k : merged.keys) {
+          if (k == key) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) merged.keys.push_back(key);
+      }
+      rels.erase(rels.begin() + j);
+      rels[i] = std::move(merged);
+      break;
+    }
+    case 3: {  // drop a relation (may break coverage; Validate decides)
+      if (n < 2) break;
+      rels.erase(rels.begin() + (*rng)() % n);
+      break;
+    }
+    case 4: {  // declare an extra candidate key
+      size_t i = (*rng)() % n;
+      std::vector<AttributeSet> candidates =
+          FindCandidateKeys(rels[i].attrs, scheme.key_dependencies());
+      std::vector<AttributeSet> fresh;
+      for (const AttributeSet& c : candidates) {
+        bool declared = false;
+        for (const AttributeSet& k : rels[i].keys) {
+          if (k == c) {
+            declared = true;
+            break;
+          }
+        }
+        if (!declared) fresh.push_back(c);
+      }
+      if (fresh.empty()) break;
+      rels[i].keys.push_back(fresh[(*rng)() % fresh.size()]);
+      break;
+    }
+  }
+  return NormalizeKeyMinimality(Rebuild(scheme, rels));
+}
+
+}  // namespace ird::oracle

@@ -1,0 +1,35 @@
+// Random structural mutations of a database scheme for the differential
+// fuzzer: drop a candidate key, widen a relation by an attribute, merge two
+// relations, drop a relation, declare an extra candidate key. Mutants are
+// rebuilt over a fresh universe (never sharing the input's, so the input
+// stays valid) and get their declared keys re-minimized; they may still
+// fail DatabaseScheme::Validate (e.g. a dropped relation breaking
+// coverage) — callers discard those.
+
+#ifndef IRD_ORACLE_MUTATE_H_
+#define IRD_ORACLE_MUTATE_H_
+
+#include <random>
+
+#include "schema/database_scheme.h"
+
+namespace ird::oracle {
+
+// A structural copy of `scheme` over a brand-new universe (same attribute
+// names, freshly interned — ids stay equal because interning order is
+// preserved).
+DatabaseScheme CloneScheme(const DatabaseScheme& scheme);
+
+// Shrinks every declared key to a minimal key wrt the (re-derived) global
+// key dependencies, iterated to fixpoint — the repair step that keeps
+// mutants passing the key-minimality part of Validate().
+DatabaseScheme NormalizeKeyMinimality(const DatabaseScheme& scheme);
+
+// Applies one random mutation (repairing key minimality afterwards). The
+// result may be invalid; check Validate() before use.
+DatabaseScheme MutateScheme(const DatabaseScheme& scheme,
+                            std::mt19937_64* rng);
+
+}  // namespace ird::oracle
+
+#endif  // IRD_ORACLE_MUTATE_H_

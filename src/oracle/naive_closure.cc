@@ -1,0 +1,25 @@
+#include "oracle/naive_closure.h"
+
+namespace ird::oracle {
+
+AttributeSet NaiveClosure(const FdSet& fds, const AttributeSet& x) {
+  AttributeSet closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds.fds()) {
+      if (!fd.lhs.IsSubsetOf(closure)) continue;
+      if (fd.rhs.IsSubsetOf(closure)) continue;
+      closure.UnionWith(fd.rhs);
+      changed = true;
+    }
+  }
+  return closure;
+}
+
+bool NaiveImplies(const FdSet& fds, const AttributeSet& lhs,
+                  const AttributeSet& rhs) {
+  return rhs.IsSubsetOf(NaiveClosure(fds, lhs));
+}
+
+}  // namespace ird::oracle

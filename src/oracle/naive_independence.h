@@ -1,0 +1,40 @@
+// Sagiv independence from first principles, two ways.
+//
+// Syntactic: the uniqueness condition [S1][S2] re-derived with the naive
+// FD closure (no ClosureEngine, no amortization) — for all Ri ≠ Rj, the
+// closure of Ri wrt F - Fj must not embed a key dependency of Rj.
+//
+// Semantic: independence *means* LSAT = WSAT, so the oracle also grounds
+// the verdict in states. Locally consistent states are sampled over a tiny
+// domain and checked for global consistency with the exhaustive chase:
+// an independent scheme must never yield a locally-consistent globally-
+// inconsistent state, and for a dependent scheme the constructive witness
+// of core/independence_witness.h must actually exhibit the gap.
+
+#ifndef IRD_ORACLE_NAIVE_INDEPENDENCE_H_
+#define IRD_ORACLE_NAIVE_INDEPENDENCE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "relation/database_state.h"
+#include "schema/database_scheme.h"
+
+namespace ird::oracle {
+
+// The uniqueness condition, naively.
+bool IsIndependentOracle(const DatabaseScheme& scheme);
+
+// Samples `trials` random states with at most `max_tuples` tuples per
+// relation over a domain of `domain` values per attribute; returns the
+// first state found that satisfies every projected dependency locally but
+// has no weak instance (an LSAT ≠ WSAT gap), or nullopt if none turned up.
+// A nullopt is evidence, not proof — the caller decides what it implies.
+std::optional<DatabaseState> SearchLsatWsatGap(const DatabaseScheme& scheme,
+                                               size_t trials,
+                                               size_t max_tuples,
+                                               size_t domain, uint64_t seed);
+
+}  // namespace ird::oracle
+
+#endif  // IRD_ORACLE_NAIVE_INDEPENDENCE_H_

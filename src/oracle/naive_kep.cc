@@ -1,0 +1,64 @@
+#include "oracle/naive_kep.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "oracle/naive_closure.h"
+
+namespace ird::oracle {
+
+namespace {
+
+std::vector<size_t> PoolOrAll(const DatabaseScheme& scheme,
+                              const std::vector<size_t>& pool) {
+  if (!pool.empty()) return pool;
+  std::vector<size_t> all(scheme.size());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+}  // namespace
+
+bool IsKeyEquivalentOracle(const DatabaseScheme& scheme,
+                           const std::vector<size_t>& pool) {
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  FdSet fds = scheme.KeyDependenciesOf(p);
+  AttributeSet all = scheme.UnionAttrs(p);
+  for (size_t j : p) {
+    if (NaiveClosure(fds, scheme.relation(j).attrs) != all) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<size_t>> MaximalKeyEquivalentSubsets(
+    const DatabaseScheme& scheme) {
+  const size_t n = scheme.size();
+  IRD_CHECK_MSG(n <= 20, "subset enumeration is exponential; scheme too large");
+  std::vector<std::vector<size_t>> equivalent;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<size_t> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) subset.push_back(i);
+    }
+    if (IsKeyEquivalentOracle(scheme, subset)) equivalent.push_back(subset);
+  }
+  std::vector<std::vector<size_t>> maximal;
+  for (const std::vector<size_t>& a : equivalent) {
+    bool dominated = false;
+    for (const std::vector<size_t>& b : equivalent) {
+      if (a.size() < b.size() &&
+          std::includes(b.begin(), b.end(), a.begin(), a.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(a);
+  }
+  std::sort(maximal.begin(), maximal.end(),
+            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              return a.front() < b.front();
+            });
+  return maximal;
+}
+
+}  // namespace ird::oracle

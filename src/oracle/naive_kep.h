@@ -1,0 +1,40 @@
+// Key-equivalence and the key-equivalent partition from first principles.
+//
+// Key-equivalence of a pool is checked through the *FD-level* definition:
+// Si+ equals the attribute closure of Si wrt the pool's key dependencies
+// (computed by oracle::NaiveClosure), and the pool is key-equivalent iff
+// every member's closure is the pool's attribute union — no Algorithm 3
+// scheme-absorption loop, no ClosureEngine.
+//
+// The partition is found by brute force over all 2^n subsets: collect the
+// key-equivalent ones, keep the inclusion-maximal. Lemmas 5.1/5.2 promise
+// these blocks are unique and partition R; the oracle re-derives them
+// without the KEP refinement so that core/kep.h can be pinned against it
+// (including the partition property itself).
+
+#ifndef IRD_ORACLE_NAIVE_KEP_H_
+#define IRD_ORACLE_NAIVE_KEP_H_
+
+#include <vector>
+
+#include "schema/database_scheme.h"
+
+namespace ird::oracle {
+
+// The pool (empty = all of R) is key-equivalent wrt its own embedded key
+// dependencies, by the FD-closure definition.
+bool IsKeyEquivalentOracle(const DatabaseScheme& scheme,
+                           const std::vector<size_t>& pool = {});
+
+// All inclusion-maximal key-equivalent subsets of R, each sorted, ordered
+// by smallest member — the shape KeyEquivalentPartition promises. If the
+// maximal subsets failed to partition R (which would falsify Lemma 5.2),
+// the returned blocks overlap or miss indices; callers compare against the
+// optimized partition and flag either defect. Exponential; guarded at 20
+// relations.
+std::vector<std::vector<size_t>> MaximalKeyEquivalentSubsets(
+    const DatabaseScheme& scheme);
+
+}  // namespace ird::oracle
+
+#endif  // IRD_ORACLE_NAIVE_KEP_H_

@@ -1,0 +1,103 @@
+#include "oracle/naive_recognition.h"
+
+#include "oracle/naive_chase.h"
+#include "oracle/naive_independence.h"
+#include "oracle/naive_kep.h"
+#include "oracle/naive_split.h"
+
+namespace ird::oracle {
+
+namespace {
+
+// D induced by `partition`: one relation per block with the union of the
+// block's attributes and the (deduplicated) keys of its members. Written
+// here, not borrowed from core/recognition.h, so the oracle's verdict does
+// not share code with the routine it certifies.
+DatabaseScheme MergeBlocks(const DatabaseScheme& scheme,
+                           const std::vector<std::vector<size_t>>& partition) {
+  DatabaseScheme induced(scheme.universe_ptr());
+  for (const std::vector<size_t>& block : partition) {
+    RelationScheme merged;
+    merged.name = "D" + std::to_string(induced.size() + 1);
+    for (size_t i : block) {
+      const RelationScheme& r = scheme.relation(i);
+      merged.attrs.UnionWith(r.attrs);
+      for (const AttributeSet& key : r.keys) {
+        bool known = false;
+        for (const AttributeSet& k : merged.keys) {
+          if (k == key) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) merged.keys.push_back(key);
+      }
+    }
+    induced.AddRelation(std::move(merged));
+  }
+  return induced;
+}
+
+bool IsReduciblePartition(const DatabaseScheme& scheme,
+                          const std::vector<std::vector<size_t>>& partition) {
+  for (const std::vector<size_t>& block : partition) {
+    if (!IsKeyEquivalentOracle(scheme, block)) return false;
+  }
+  return IsIndependentOracle(MergeBlocks(scheme, partition));
+}
+
+// Enumerates set partitions of {0..n-1}: relation `next` joins an existing
+// block or opens a new one. Returns true (and leaves *partition holding the
+// witness) as soon as one qualifies.
+bool EnumeratePartitions(const DatabaseScheme& scheme, size_t next,
+                         std::vector<std::vector<size_t>>* partition) {
+  if (next == scheme.size()) {
+    return IsReduciblePartition(scheme, *partition);
+  }
+  for (size_t b = 0; b < partition->size(); ++b) {
+    (*partition)[b].push_back(next);
+    if (EnumeratePartitions(scheme, next + 1, partition)) return true;
+    (*partition)[b].pop_back();
+  }
+  partition->push_back({next});
+  if (EnumeratePartitions(scheme, next + 1, partition)) return true;
+  partition->pop_back();
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::vector<size_t>>>
+FindIndependenceReduciblePartition(const DatabaseScheme& scheme) {
+  IRD_CHECK_MSG(scheme.size() <= 12,
+                "set-partition enumeration is exponential; scheme too large");
+  std::vector<std::vector<size_t>> partition;
+  if (EnumeratePartitions(scheme, 0, &partition)) return partition;
+  return std::nullopt;
+}
+
+bool IsIndependenceReducibleOracle(const DatabaseScheme& scheme) {
+  return FindIndependenceReduciblePartition(scheme).has_value();
+}
+
+OracleClassification ClassifySchemeOracle(const DatabaseScheme& scheme) {
+  OracleClassification c;
+  c.lossless = IsLosslessNaive(scheme);
+  c.independent = IsIndependentOracle(scheme);
+  c.key_equivalent = IsKeyEquivalentOracle(scheme);
+  c.independence_reducible = IsIndependenceReducibleOracle(scheme);
+  if (c.independence_reducible) {
+    c.split_free = true;
+    for (const std::vector<size_t>& block :
+         MaximalKeyEquivalentSubsets(scheme)) {
+      if (!IsSplitFreeOracle(scheme, block)) {
+        c.split_free = false;
+        break;
+      }
+    }
+    c.ctm = c.split_free;  // Theorem 5.5
+  }
+  return c;
+}
+
+}  // namespace ird::oracle

@@ -1,0 +1,45 @@
+// Independence-reducibility straight from Definition §4.1: R is
+// independence-reducible iff *some* partition of R has every block
+// key-equivalent (wrt the block's own key dependencies) and an independent
+// induced scheme. The oracle enumerates every set partition of the
+// relations — no KEP, no Theorem 5.1 shortcut — and therefore certifies
+// Algorithm 6's accept AND reject verdicts, not just the partition it
+// happens to pick.
+//
+// Also derives the full classification report from oracle parts only, for
+// differential comparison against core/classify.h.
+
+#ifndef IRD_ORACLE_NAIVE_RECOGNITION_H_
+#define IRD_ORACLE_NAIVE_RECOGNITION_H_
+
+#include <optional>
+#include <vector>
+
+#include "schema/database_scheme.h"
+
+namespace ird::oracle {
+
+// Existence of an independence-reducible partition, by exhaustive set-
+// partition enumeration (Bell(n) candidates; guarded at 12 relations).
+// Returns the first witnessing partition, or nullopt.
+std::optional<std::vector<std::vector<size_t>>>
+FindIndependenceReduciblePartition(const DatabaseScheme& scheme);
+
+bool IsIndependenceReducibleOracle(const DatabaseScheme& scheme);
+
+// The classification flags the paper derives, assembled from the oracle
+// implementations alone.
+struct OracleClassification {
+  bool lossless = false;
+  bool independent = false;
+  bool key_equivalent = false;
+  bool independence_reducible = false;
+  bool split_free = false;  // all blocks of the maximal-KE partition
+  bool ctm = false;         // reducible ∧ split_free (Theorem 5.5)
+};
+
+OracleClassification ClassifySchemeOracle(const DatabaseScheme& scheme);
+
+}  // namespace ird::oracle
+
+#endif  // IRD_ORACLE_NAIVE_RECOGNITION_H_

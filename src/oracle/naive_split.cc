@@ -1,0 +1,98 @@
+#include "oracle/naive_split.h"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace ird::oracle {
+
+namespace {
+
+std::vector<size_t> PoolOrAll(const DatabaseScheme& scheme,
+                              const std::vector<size_t>& pool) {
+  if (!pool.empty()) return pool;
+  std::vector<size_t> all(scheme.size());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+// Depth-first walk over computations of start+. `absorbed` is the bitmask
+// (over pool positions) of schemes absorbed so far; the closure at a stage
+// is start ∪ (union of absorbed schemes), so visiting a mask twice cannot
+// discover anything new.
+bool Walk(const DatabaseScheme& scheme, const AttributeSet& key,
+          const std::vector<size_t>& pool, uint32_t absorbed,
+          const AttributeSet& closure,
+          std::unordered_set<uint32_t>* visited) {
+  if (!visited->insert(absorbed).second) return false;
+  for (size_t p = 0; p < pool.size(); ++p) {
+    if ((absorbed >> p) & 1u) continue;
+    const RelationScheme& sj = scheme.relation(pool[p]);
+    // Applicability per Algorithm 3 statement (2): Sj ⊄ closure and some
+    // key of Sj inside the closure.
+    if (sj.attrs.IsSubsetOf(closure)) continue;
+    if (!sj.ContainsKey(closure)) continue;
+    // The definition's split event: this step completes K although the
+    // absorbed scheme does not contain K.
+    if (!key.IsSubsetOf(closure) &&
+        key.IsSubsetOf(closure.Union(sj.attrs)) &&
+        !key.IsSubsetOf(sj.attrs)) {
+      return true;
+    }
+    if (Walk(scheme, key, pool, absorbed | (1u << p),
+             closure.Union(sj.attrs), visited)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsKeySplitInClosureOfOracle(const DatabaseScheme& scheme,
+                                 const AttributeSet& key, size_t start,
+                                 const std::vector<size_t>& pool) {
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  IRD_CHECK_MSG(p.size() <= 20,
+                "definitional split oracle is exponential; pool too large");
+  std::unordered_set<uint32_t> visited;
+  uint32_t absorbed = 0;
+  // The starting scheme counts as part of the computation from the outset.
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == start) absorbed |= 1u << i;
+  }
+  return Walk(scheme, key, p, absorbed, scheme.relation(start).attrs,
+              &visited);
+}
+
+bool IsKeySplitOracle(const DatabaseScheme& scheme, const AttributeSet& key,
+                      const std::vector<size_t>& pool) {
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  for (size_t start : p) {
+    if (IsKeySplitInClosureOfOracle(scheme, key, start, p)) return true;
+  }
+  return false;
+}
+
+bool IsSplitFreeOracle(const DatabaseScheme& scheme,
+                       const std::vector<size_t>& pool) {
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  std::vector<AttributeSet> distinct;
+  for (size_t i : p) {
+    for (const AttributeSet& key : scheme.relation(i).keys) {
+      bool known = false;
+      for (const AttributeSet& k : distinct) {
+        if (k == key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) distinct.push_back(key);
+    }
+  }
+  for (const AttributeSet& key : distinct) {
+    if (IsKeySplitOracle(scheme, key, p)) return false;
+  }
+  return true;
+}
+
+}  // namespace ird::oracle

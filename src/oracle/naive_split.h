@@ -1,0 +1,37 @@
+// Split keys by direct enumeration of the §3.3 definition: K is split in
+// Si+ iff some partial computation of Si+ (Algorithm 3) reaches a closure
+// not yet covering K and then absorbs a scheme that completes K without
+// containing K. This oracle walks *every* reachable stage of every
+// computation — the set of absorbed schemes determines the stage, so the
+// walk memoizes on that set and nothing else.
+//
+// Independent of both implementations in core/split.h: it uses neither the
+// Lemma 3.8 closure shortcut nor the BFS over closure values.
+
+#ifndef IRD_ORACLE_NAIVE_SPLIT_H_
+#define IRD_ORACLE_NAIVE_SPLIT_H_
+
+#include <vector>
+
+#include "base/attribute_set.h"
+#include "schema/database_scheme.h"
+
+namespace ird::oracle {
+
+// K is split in the closure of scheme `start` over `pool` (empty = all of
+// R). Exponential in |pool|; guarded at 20 pool schemes.
+bool IsKeySplitInClosureOfOracle(const DatabaseScheme& scheme,
+                                 const AttributeSet& key, size_t start,
+                                 const std::vector<size_t>& pool = {});
+
+// K is split, full stop: split in some Si+ of the pool.
+bool IsKeySplitOracle(const DatabaseScheme& scheme, const AttributeSet& key,
+                      const std::vector<size_t>& pool = {});
+
+// No key of the pool's schemes is split.
+bool IsSplitFreeOracle(const DatabaseScheme& scheme,
+                       const std::vector<size_t>& pool = {});
+
+}  // namespace ird::oracle
+
+#endif  // IRD_ORACLE_NAIVE_SPLIT_H_

@@ -1,0 +1,89 @@
+#include "oracle/shrink.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "oracle/mutate.h"
+
+namespace ird::oracle {
+
+namespace {
+
+// Rebuilds a candidate from edited relation rows; returns nullopt unless it
+// validates (directly or after key re-minimization) and still fails.
+std::optional<DatabaseScheme> TryCandidate(
+    const DatabaseScheme& current, std::vector<RelationScheme> rels,
+    const std::function<bool(const DatabaseScheme&)>& still_fails) {
+  if (rels.empty()) return std::nullopt;
+  DatabaseScheme rebuilt(current.universe_ptr());
+  for (RelationScheme& r : rels) rebuilt.AddRelation(std::move(r));
+  DatabaseScheme candidate = NormalizeKeyMinimality(rebuilt);
+  if (!candidate.Validate().ok()) return std::nullopt;
+  if (!still_fails(candidate)) return std::nullopt;
+  return candidate;
+}
+
+}  // namespace
+
+DatabaseScheme ShrinkScheme(
+    const DatabaseScheme& scheme,
+    const std::function<bool(const DatabaseScheme&)>& still_fails) {
+  IRD_CHECK_MSG(still_fails(scheme), "shrink called on a passing scheme");
+  DatabaseScheme current = CloneScheme(scheme);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Pass 1: drop a whole relation.
+    for (size_t i = 0; i < current.size() && !progressed; ++i) {
+      std::vector<RelationScheme> rels = current.relations();
+      rels.erase(rels.begin() + i);
+      if (auto next = TryCandidate(current, std::move(rels), still_fails)) {
+        current = std::move(*next);
+        progressed = true;
+      }
+    }
+    if (progressed) continue;
+    // Pass 2: drop one candidate key (relations keep at least one).
+    for (size_t i = 0; i < current.size() && !progressed; ++i) {
+      for (size_t k = 0; k < current.relation(i).keys.size() && !progressed;
+           ++k) {
+        if (current.relation(i).keys.size() < 2) continue;
+        std::vector<RelationScheme> rels = current.relations();
+        rels[i].keys.erase(rels[i].keys.begin() + k);
+        if (auto next = TryCandidate(current, std::move(rels), still_fails)) {
+          current = std::move(*next);
+          progressed = true;
+        }
+      }
+    }
+    if (progressed) continue;
+    // Pass 3: drop one attribute from one relation (keys lose it too; a key
+    // emptied by the deletion is dropped, and a relation needs >= 2 attrs
+    // to stay a sensible edge).
+    for (size_t i = 0; i < current.size() && !progressed; ++i) {
+      std::vector<AttributeId> attrs = current.relation(i).attrs.ToVector();
+      if (attrs.size() < 2) continue;
+      for (AttributeId a : attrs) {
+        std::vector<RelationScheme> rels = current.relations();
+        rels[i].attrs.Remove(a);
+        std::vector<AttributeSet> kept;
+        for (AttributeSet key : rels[i].keys) {
+          key.Remove(a);
+          if (!key.Empty()) kept.push_back(key);
+        }
+        if (kept.empty()) continue;
+        rels[i].keys = std::move(kept);
+        if (auto next = TryCandidate(current, std::move(rels), still_fails)) {
+          current = std::move(*next);
+          progressed = true;
+          break;
+        }
+      }
+    }
+  }
+  // Drop attributes that no longer occur anywhere from the universe.
+  return CloneScheme(current);
+}
+
+}  // namespace ird::oracle

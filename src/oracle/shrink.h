@@ -1,0 +1,26 @@
+// Greedy scheme minimization for fuzzer repros: given a scheme on which
+// some differential predicate fails, repeatedly tries the smallest
+// structural deletions — drop a relation, drop a candidate key, drop an
+// attribute from one relation — keeping a candidate only if it still
+// validates and the predicate still fails, until no deletion survives.
+// The result is the minimal repro written into tests/corpus/.
+
+#ifndef IRD_ORACLE_SHRINK_H_
+#define IRD_ORACLE_SHRINK_H_
+
+#include <functional>
+
+#include "schema/database_scheme.h"
+
+namespace ird::oracle {
+
+// `still_fails` must return true on the original scheme; the returned
+// scheme is valid, still fails, and admits no further single deletion.
+// Unused attributes are compacted out of the universe at the end.
+DatabaseScheme ShrinkScheme(
+    const DatabaseScheme& scheme,
+    const std::function<bool(const DatabaseScheme&)>& still_fails);
+
+}  // namespace ird::oracle
+
+#endif  // IRD_ORACLE_SHRINK_H_

@@ -1,0 +1,127 @@
+// Direct unit tests for core/augmentation (paper §4.3): AUG's key-selection
+// cases, its error conditions, RED, and the closure properties of
+// Theorem 4.3 / Corollary 4.2.
+
+#include "core/augmentation.h"
+
+#include "core/recognition.h"
+#include "gtest/gtest.h"
+#include "oracle/mutate.h"
+#include "oracle/naive_recognition.h"
+#include "tests/test_util.h"
+
+namespace ird {
+namespace {
+
+using ::ird::test::Attrs;
+
+TEST(Augment, Case2EmbeddedKeysBecomeTheNewSchemesKeys) {
+  // HR ⊆ R1(HRC) embeds the key HR (declared on R1 and R2) — Case 2 of
+  // Theorem 4.3: the augmentation declares exactly the embedded keys.
+  DatabaseScheme s = test::Example1R();
+  ASSERT_TRUE(Augment(&s, "A1", Attrs(s, "HR")).ok());
+  const RelationScheme& added = s.relation(s.size() - 1);
+  EXPECT_EQ(added.name, "A1");
+  EXPECT_EQ(added.attrs, Attrs(s, "HR"));
+  ASSERT_EQ(added.keys.size(), 1u);
+  EXPECT_EQ(added.keys[0], Attrs(s, "HR"));
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(Augment, Case2CollectsEveryEmbeddedKey) {
+  // Example 3's relations have two singleton keys each; AB embeds the keys
+  // A and B (from R1) — both must be declared on the augmentation.
+  DatabaseScheme s = test::Example3();
+  ASSERT_TRUE(Augment(&s, "A1", Attrs(s, "AB")).ok());
+  const RelationScheme& added = s.relation(s.size() - 1);
+  ASSERT_EQ(added.keys.size(), 2u);
+  EXPECT_EQ(added.keys[0], Attrs(s, "A"));
+  EXPECT_EQ(added.keys[1], Attrs(s, "B"));
+}
+
+TEST(Augment, Case1NoEmbeddedKeyMeansTrivialKey) {
+  // CG ⊆ R4(CSG) of Example 1's R embeds no key (R4's key is CS), so the
+  // augmentation's only key dependency is the trivial CG -> CG.
+  DatabaseScheme s = test::Example1R();
+  ASSERT_TRUE(Augment(&s, "A1", Attrs(s, "CG")).ok());
+  const RelationScheme& added = s.relation(s.size() - 1);
+  ASSERT_EQ(added.keys.size(), 1u);
+  EXPECT_EQ(added.keys[0], Attrs(s, "CG"));
+}
+
+TEST(Augment, RejectsEmptyAndNonEmbeddedSets) {
+  DatabaseScheme s = test::Example1R();
+  EXPECT_FALSE(Augment(&s, "A1", AttributeSet()).ok());
+  // HG is not a subset of any relation scheme of Example 1's R.
+  EXPECT_FALSE(Augment(&s, "A2", Attrs(s, "HG")).ok());
+  EXPECT_EQ(s.size(), test::Example1R().size());  // nothing was added
+}
+
+TEST(Augment, Theorem43ClosesTheClassUnderAugmentation) {
+  // Every single-relation-subset augmentation of an independence-reducible
+  // scheme stays independence-reducible — Algorithm 6 and the exhaustive
+  // oracle must both keep accepting.
+  const DatabaseScheme bases[] = {test::Example1R(), test::Example11(),
+                                  test::Example12()};
+  for (const DatabaseScheme& base : bases) {
+    ASSERT_TRUE(IsIndependenceReducible(base));
+    for (size_t i = 0; i < base.size(); ++i) {
+      // Augment with every 2+-attribute proper subset of relation i.
+      std::vector<AttributeId> attrs = base.relation(i).attrs.ToVector();
+      for (size_t mask = 1; mask < (1u << attrs.size()) - 1; ++mask) {
+        AttributeSet sub;
+        for (size_t b = 0; b < attrs.size(); ++b) {
+          if (mask & (1u << b)) sub.Add(attrs[b]);
+        }
+        DatabaseScheme aug = oracle::CloneScheme(base);
+        ASSERT_TRUE(Augment(&aug, "Aug", sub).ok());
+        if (!aug.Validate().ok()) continue;  // duplicate attribute set etc.
+        EXPECT_TRUE(IsIndependenceReducible(aug))
+            << "augmenting relation " << base.relation(i).name << " subset "
+            << base.universe().Format(sub) << " left the class";
+        if (aug.size() <= 8) {
+          EXPECT_TRUE(oracle::IsIndependenceReducibleOracle(aug));
+        }
+      }
+    }
+  }
+}
+
+TEST(Reduce, DropsProperlyContainedAndDuplicateSchemes) {
+  DatabaseScheme s = test::Example1R();
+  size_t original = s.size();
+  ASSERT_TRUE(Augment(&s, "A1", Attrs(s, "HR")).ok());
+  ASSERT_TRUE(Augment(&s, "A2", Attrs(s, "CG")).ok());
+  DatabaseScheme red = Reduce(s);
+  EXPECT_EQ(red.size(), original);
+  for (size_t i = 0; i < red.size(); ++i) {
+    EXPECT_EQ(red.relation(i).name, test::Example1R().relation(i).name);
+  }
+  // Reducing an already-reduced scheme is the identity.
+  EXPECT_EQ(Reduce(red).size(), red.size());
+}
+
+TEST(Reduce, Corollary42ReductionPreservesTheVerdict) {
+  const DatabaseScheme bases[] = {test::Example1R(), test::Example2(),
+                                  test::Example4(), test::Example11(),
+                                  test::Example12(), test::Example13()};
+  for (const DatabaseScheme& base : bases) {
+    DatabaseScheme aug = oracle::CloneScheme(base);
+    // Augment with a subset of the first relation, then check RED undoes it
+    // and the verdict never changes along the way.
+    std::vector<AttributeId> attrs = aug.relation(0).attrs.ToVector();
+    ASSERT_GE(attrs.size(), 2u);
+    AttributeSet sub;
+    sub.Add(attrs[0]);
+    sub.Add(attrs[1]);
+    bool verdict = IsIndependenceReducible(base);
+    DatabaseScheme candidate = oracle::CloneScheme(aug);
+    if (Augment(&candidate, "Aug", sub).ok() && candidate.Validate().ok()) {
+      EXPECT_EQ(IsIndependenceReducible(candidate), verdict);
+      EXPECT_EQ(IsIndependenceReducible(Reduce(candidate)), verdict);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ird

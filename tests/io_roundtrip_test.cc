@@ -1,0 +1,163 @@
+// Round-trip tests for io/text_format over every scheme family of
+// workload/generators.h: FormatScheme → ParseDatabaseText must reproduce
+// the scheme exactly (names, attribute sets, key lists), and FormatState →
+// parse → MakeState must reproduce a generated consistent state tuple for
+// tuple. This is what makes the fuzzer's corpus files faithful repros.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "io/text_format.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+// Renders `set` as a sorted list of attribute names — canonical across
+// universes whose interning order differs (the parser interns attributes in
+// first-seen order, generators in construction order).
+std::string SortedNames(const Universe& u, const AttributeSet& set) {
+  std::vector<std::string> names;
+  for (AttributeId a : set.ToVector()) names.push_back(u.Name(a));
+  std::sort(names.begin(), names.end());
+  std::string out;
+  for (const std::string& n : names) out += n + ",";
+  return out;
+}
+
+// Structural equality through the two schemes' own universes (ids can
+// differ; names and name-sets cannot).
+void ExpectSchemesEqual(const DatabaseScheme& a, const DatabaseScheme& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const RelationScheme& ra = a.relation(i);
+    const RelationScheme& rb = b.relation(i);
+    EXPECT_EQ(ra.name, rb.name);
+    EXPECT_EQ(SortedNames(a.universe(), ra.attrs),
+              SortedNames(b.universe(), rb.attrs));
+    ASSERT_EQ(ra.keys.size(), rb.keys.size()) << ra.name;
+    std::vector<std::string> ka, kb;
+    for (const AttributeSet& key : ra.keys)
+      ka.push_back(SortedNames(a.universe(), key));
+    for (const AttributeSet& key : rb.keys)
+      kb.push_back(SortedNames(b.universe(), key));
+    std::sort(ka.begin(), ka.end());
+    std::sort(kb.begin(), kb.end());
+    EXPECT_EQ(ka, kb) << ra.name;
+  }
+}
+
+void RoundTripScheme(const DatabaseScheme& scheme) {
+  std::string text = FormatScheme(scheme);
+  Result<ParsedDatabase> parsed = ParseDatabaseText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+  ExpectSchemesEqual(scheme, parsed->scheme);
+  // One parse canonicalizes attribute order; from there, format → parse →
+  // format must be a textual fixpoint.
+  std::string text2 = FormatScheme(parsed->scheme);
+  Result<ParsedDatabase> parsed2 = ParseDatabaseText(text2);
+  ASSERT_TRUE(parsed2.ok()) << parsed2.status().ToString();
+  EXPECT_EQ(FormatScheme(parsed2->scheme), text2);
+}
+
+void RoundTripState(const DatabaseScheme& scheme, uint64_t seed) {
+  StateGenOptions opt;
+  opt.entities = 5;
+  opt.coverage = 0.8;
+  opt.seed = seed;
+  DatabaseState state = MakeConsistentState(scheme, opt);
+  ValueDictionary dict;  // empty: values print as raw integers
+  std::string text = FormatScheme(scheme) + FormatState(state, dict);
+  Result<ParsedDatabase> parsed = ParseDatabaseText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+  DatabaseState replayed = parsed->MakeState();
+  ASSERT_EQ(replayed.scheme().size(), state.scheme().size());
+  // Value identities change under interning and column order follows each
+  // universe's attribute ids, so compare canonically: per relation, the
+  // sorted multiset of "<attr-name>=<value-token>" tuple renderings.
+  for (size_t i = 0; i < state.scheme().size(); ++i) {
+    auto canon = [](const PartialRelation& rel, const Universe& u,
+                    auto value_name) {
+      std::vector<std::string> rows;
+      for (const PartialTuple& t : rel.tuples()) {
+        std::vector<std::string> cells;
+        for (AttributeId a : t.attrs().ToVector()) {
+          cells.push_back(u.Name(a) + "=" + value_name(t.At(a)));
+        }
+        std::sort(cells.begin(), cells.end());
+        std::string row;
+        for (const std::string& c : cells) row += c + ";";
+        rows.push_back(std::move(row));
+      }
+      std::sort(rows.begin(), rows.end());
+      return rows;
+    };
+    EXPECT_EQ(canon(replayed.relation(i), replayed.scheme().universe(),
+                    [&](Value v) { return parsed->values.Name(v); }),
+              canon(state.relation(i), scheme.universe(),
+                    [](Value v) { return std::to_string(v); }))
+        << state.scheme().relation(i).name;
+  }
+}
+
+TEST(IoRoundTrip, ChainFamily) {
+  for (size_t n = 1; n <= 6; ++n) {
+    RoundTripScheme(MakeChainScheme(n));
+    RoundTripState(MakeChainScheme(n), 10 + n);
+  }
+}
+
+TEST(IoRoundTrip, SplitFamily) {
+  for (size_t k = 2; k <= 5; ++k) {
+    RoundTripScheme(MakeSplitScheme(k));
+    RoundTripState(MakeSplitScheme(k), 20 + k);
+  }
+}
+
+TEST(IoRoundTrip, IndependentFamily) {
+  for (size_t m = 1; m <= 6; ++m) {
+    RoundTripScheme(MakeIndependentScheme(m));
+    RoundTripState(MakeIndependentScheme(m), 30 + m);
+  }
+}
+
+TEST(IoRoundTrip, BlockFamily) {
+  for (size_t blocks = 1; blocks <= 3; ++blocks) {
+    for (size_t size = 2; size <= 3; ++size) {
+      RoundTripScheme(MakeBlockScheme(blocks, size));
+      RoundTripState(MakeBlockScheme(blocks, size), 40 + blocks * 4 + size);
+    }
+  }
+}
+
+TEST(IoRoundTrip, StarFamily) {
+  for (size_t n = 1; n <= 6; ++n) {
+    RoundTripScheme(MakeStarScheme(n));
+    RoundTripState(MakeStarScheme(n), 50 + n);
+  }
+}
+
+TEST(IoRoundTrip, TreeFamily) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    DatabaseScheme s = MakeTreeScheme(2 + seed % 5, (seed % 3) / 2.0, seed);
+    RoundTripScheme(s);
+    RoundTripState(s, 60 + seed);
+  }
+}
+
+TEST(IoRoundTrip, RandomFamily) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    RandomSchemeOptions opt;
+    opt.universe_size = 6;
+    opt.relations = 4;
+    opt.multi_key_prob = (seed % 2) * 0.5;
+    opt.seed = seed;
+    DatabaseScheme s = MakeRandomScheme(opt);
+    RoundTripScheme(s);
+    RoundTripState(s, 70 + seed);
+  }
+}
+
+}  // namespace
+}  // namespace ird
