@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "core/total_projection.h"
 #include "relation/weak_instance.h"
 #include "workload/generators.h"
@@ -109,9 +111,9 @@ void BM_BuildExpression(benchmark::State& bench) {
   IRD_CHECK(r.accepted);
   AttributeSet x;
   x.Add(scheme.universe().Find("X1_1").value());
-  x.Add(scheme.universe()
-            .Find("X" + std::to_string(bench.range(0)) + "_3")
-            .value());
+  std::string far_attr = 'X' + std::to_string(bench.range(0));
+  far_attr += "_3";
+  x.Add(scheme.universe().Find(far_attr).value());
   for (auto _ : bench) {
     ExprPtr expr = BuildBoundedProjectionExpr(scheme, r, x);
     benchmark::DoNotOptimize(expr);

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "diagnostics/verify.h"
 #include "oracle/corpus.h"
 #include "oracle/differential.h"
 #include "oracle/mutate.h"
@@ -112,6 +113,29 @@ int Run(const Args& args) {
       }
       ++total;
       ++family_tested;
+
+      // Lint self-check: the diagnostics engine must not crash and every
+      // witness it emits must pass the independent verifier. A failure is
+      // triaged exactly like an oracle disagreement.
+      Status lint_ok = diagnostics::LintSelfCheck(scheme);
+      if (!lint_ok.ok()) {
+        ++disagreements;
+        std::fprintf(stderr, "[%s/%zu] diagnostics/verify: %s\n", family.name,
+                     i, lint_ok.ToString().c_str());
+        std::string name = std::string("diagnostics-verify-") + family.name +
+                           "-s" + std::to_string(args.seed) + "-" +
+                           std::to_string(i);
+        Status written = WriteCorpusFile(
+            args.corpus, name, scheme,
+            {"routine: diagnostics/verify", "detail: " + lint_ok.ToString(),
+             "found by: fuzz_driver, " + std::string(family.name) +
+                 " family, seed " + std::to_string(args.seed) +
+                 ", iteration " + std::to_string(i)});
+        if (!written.ok()) {
+          std::fprintf(stderr, "corpus write failed: %s\n",
+                       written.ToString().c_str());
+        }
+      }
 
       DifferentialOptions opt;
       opt.seed = args.seed + i;

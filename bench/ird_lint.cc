@@ -1,0 +1,128 @@
+// ird_lint: witness-backed static analysis for database schemes.
+//
+//   ird_lint [--json] [--verify] [--no-instances] FILE...
+//
+// Each FILE is a `.scheme` text-format file (io/text_format.h grammar;
+// `insert` lines are accepted and ignored). For every file the tool runs
+// the full diagnostics rule registry (diagnostics/lint.h) and renders the
+// report as text (default) or JSON (--json). With --verify every emitted
+// witness is re-checked by the independent checker (diagnostics/verify.h);
+// an unverifiable witness is a bug in the analyzer and fails the run.
+//
+// Exit status: 0 = all files linted (diagnostics may exist); 1 = a file
+// failed to parse or a witness failed verification; 2 = usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diagnostics/lint.h"
+#include "diagnostics/render.h"
+#include "diagnostics/verify.h"
+#include "io/text_format.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ird_lint [--json] [--verify] [--no-instances] "
+               "FILE...\n"
+               "  --json          machine-readable output, one JSON object "
+               "per file\n"
+               "  --verify        re-check every witness with the "
+               "independent verifier\n"
+               "  --no-instances  skip adversarial instance construction "
+               "for split keys\n");
+  return 2;
+}
+
+struct Options {
+  bool json = false;
+  bool verify = false;
+  ird::diagnostics::LintOptions lint;
+  std::vector<std::string> files;
+};
+
+// Returns 0 on success, 1 on parse failure or witness-verification failure.
+int LintFile(const Options& opts, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ird_lint: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  ird::Result<ird::ParsedDatabase> parsed =
+      ird::ParseDatabaseText(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "ird_lint: %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const ird::DatabaseScheme& scheme = parsed->scheme;
+  ird::diagnostics::LintReport report =
+      ird::diagnostics::LintScheme(scheme, opts.lint);
+
+  int rc = 0;
+  std::vector<ird::Status> verification;
+  if (opts.verify) {
+    verification.reserve(report.diagnostics.size());
+    for (const ird::diagnostics::Diagnostic& d : report.diagnostics) {
+      verification.push_back(ird::diagnostics::VerifyWitness(scheme, d));
+      if (!verification.back().ok()) {
+        std::fprintf(stderr, "ird_lint: %s: UNVERIFIED witness [%s]: %s\n",
+                     path.c_str(), d.Signature(scheme).c_str(),
+                     verification.back().ToString().c_str());
+        rc = 1;
+      }
+    }
+  }
+
+  if (opts.json) {
+    std::printf("%s\n",
+                ird::diagnostics::RenderJson(
+                    scheme, report, path,
+                    opts.verify ? &verification : nullptr)
+                    .c_str());
+  } else {
+    std::printf("== %s ==\n%s", path.c_str(),
+                ird::diagnostics::RenderText(scheme, report).c_str());
+    if (opts.verify && rc == 0 && !report.diagnostics.empty()) {
+      std::printf("all %zu witness(es) verified\n",
+                  report.diagnostics.size());
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      opts.json = true;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      opts.verify = true;
+    } else if (std::strcmp(argv[i], "--no-instances") == 0) {
+      opts.lint.build_instance_witnesses = false;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage();
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "ird_lint: unknown flag %s\n", argv[i]);
+      return Usage();
+    } else {
+      opts.files.emplace_back(argv[i]);
+    }
+  }
+  if (opts.files.empty()) return Usage();
+  int rc = 0;
+  for (const std::string& file : opts.files) {
+    if (LintFile(opts, file) != 0) rc = 1;
+  }
+  return rc;
+}

@@ -28,6 +28,7 @@
 
 #include "core/block_maintainer.h"
 #include "core/classify.h"
+#include "diagnostics/render.h"
 #include "core/query_engine.h"
 #include "io/text_format.h"
 #include "relation/weak_instance.h"
@@ -73,7 +74,9 @@ class Shell {
     } else if (cmd == "plan") {
       Plan(words);
     } else if (cmd == "classify") {
-      if (Ready()) std::printf("%s", ClassifyScheme(db_.scheme).ToString(db_.scheme).c_str());
+      if (Ready()) {
+        std::printf("%s", diagnostics::FormatSchemeReport(db_.scheme).c_str());
+      }
     } else if (cmd == "check") {
       if (Ready()) {
         std::printf("%s\n", IsConsistent(maintainer_->state())

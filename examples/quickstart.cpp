@@ -12,6 +12,7 @@
 
 #include "core/block_maintainer.h"
 #include "core/classify.h"
+#include "diagnostics/render.h"
 #include "core/total_projection.h"
 #include "schema/database_scheme.h"
 
@@ -50,10 +51,10 @@ int main() {
   scheme.AddRelation("R5", "HSR", {"HS"});
   std::printf("=== Scheme ===\n%s\n", scheme.ToString().c_str());
 
-  // --- 2. Classification (the paper's Example 1 verdict).
-  SchemeClassification verdict = ClassifyScheme(scheme);
+  // --- 2. Classification (the paper's Example 1 verdict), with the
+  //        witness-backed diagnostics explaining every "no".
   std::printf("=== Classification ===\n%s\n",
-              verdict.ToString(scheme).c_str());
+              diagnostics::FormatSchemeReport(scheme).c_str());
 
   // --- 3. Constant-time maintenance.
   auto maintainer =

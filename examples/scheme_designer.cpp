@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/classify.h"
+#include "diagnostics/render.h"
 #include "io/text_format.h"
 
 using namespace ird;
@@ -100,9 +101,9 @@ void Report(const NamedScheme& named) {
   std::printf("%s\n", named.title.c_str());
   std::printf("----------------------------------------------\n");
   std::printf("%s", named.scheme.ToString().c_str());
-  SchemeClassification c =
-      ClassifyScheme(named.scheme, named.scheme.size() <= 10);
-  std::printf("\n%s\n", c.ToString(named.scheme).c_str());
+  std::printf("\n%s\n", diagnostics::FormatSchemeReport(
+                            named.scheme, named.scheme.size() <= 10)
+                            .c_str());
 }
 
 }  // namespace

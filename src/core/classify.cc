@@ -40,41 +40,4 @@ SchemeClassification ClassifyScheme(const DatabaseScheme& scheme,
   return c;
 }
 
-std::string SchemeClassification::ToString(
-    const DatabaseScheme& scheme) const {
-  auto yn = [](bool b) { return b ? "yes" : "no"; };
-  std::string out;
-  out += "valid scheme:             " + valid.ToString() + "\n";
-  out += std::string("BCNF:                     ") + yn(bcnf) + "\n";
-  out += std::string("lossless:                 ") + yn(lossless) + "\n";
-  out += std::string("independent (Sagiv):      ") + yn(independent) + "\n";
-  out += std::string("key-equivalent:           ") + yn(key_equivalent) + "\n";
-  out += std::string("gamma-acyclic:            ") + yn(gamma_acyclic) + "\n";
-  out += std::string("alpha-acyclic:            ") + yn(alpha_acyclic) + "\n";
-  out += std::string("independence-reducible:   ") +
-         yn(independence_reducible) + "\n";
-  if (independence_reducible) {
-    out += "partition:                ";
-    for (size_t b = 0; b < recognition.partition.size(); ++b) {
-      if (b > 0) out += " | ";
-      out += "{";
-      for (size_t k = 0; k < recognition.partition[b].size(); ++k) {
-        if (k > 0) out += ",";
-        out += scheme.relation(recognition.partition[b][k]).name;
-      }
-      out += "}";
-      out += block_split_free[b] ? "" : "*";
-    }
-    out += "   (* = split block)\n";
-  } else if (recognition.violation.has_value()) {
-    out += "rejection witness:        " +
-           recognition.violation->ToString(*recognition.induced) + "\n";
-  }
-  out += std::string("bounded:                  ") + yn(bounded) + "\n";
-  out += std::string("algebraic-maintainable:   ") +
-         yn(algebraic_maintainable) + "\n";
-  out += std::string("constant-time-maintain.:  ") + yn(ctm) + "\n";
-  return out;
-}
-
 }  // namespace ird

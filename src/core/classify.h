@@ -6,7 +6,6 @@
 #define IRD_CORE_CLASSIFY_H_
 
 #include <optional>
-#include <string>
 #include <vector>
 
 #include "core/recognition.h"
@@ -31,9 +30,10 @@ struct SchemeClassification {
   bool bounded = false;                  // accepted ⇒ bounded
   bool algebraic_maintainable = false;   // accepted ⇒ algebraic-maintainable
   bool ctm = false;                      // accepted ∧ split-free ⇔ ctm
-
-  std::string ToString(const DatabaseScheme& scheme) const;
 };
+
+// Rendering lives in diagnostics/render.h (FormatSchemeReport), which pairs
+// the verdicts with witness-backed explanations of every "no".
 
 // Runs every test. `test_acyclicity` can be disabled for schemes too large
 // for the exact γ-acyclicity search.

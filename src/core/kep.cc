@@ -16,11 +16,24 @@ void KepRecurse(const DatabaseScheme& scheme, const std::vector<size_t>& pool,
                 std::vector<std::vector<size_t>>* out) {
   // Statement (2): part := { [Ri] }, where [Ri] groups schemes with equal
   // closure wrt the pool's key dependencies.
+  IRD_DCHECK(!pool.empty());
   ClosureEngine fds(scheme.KeyDependenciesOf(pool));
   std::map<AttributeSet, std::vector<size_t>> groups;
   for (size_t i : pool) {
     groups[fds.Closure(scheme.relation(i).attrs)].push_back(i);
   }
+#ifndef NDEBUG
+  // The groups partition the pool (recursion preserves total size), and
+  // each member's scheme is inside its group's closure.
+  size_t grouped = 0;
+  for (const auto& [closure, block] : groups) {
+    grouped += block.size();
+    for (size_t i : block) {
+      IRD_DCHECK(scheme.relation(i).attrs.IsSubsetOf(closure));
+    }
+  }
+  IRD_DCHECK(grouped == pool.size());
+#endif
   // Statement (3): a single block means the pool is key-equivalent (all
   // closures equal forces them to equal the pool's attribute union).
   if (groups.size() == 1) {

@@ -16,6 +16,7 @@ std::vector<size_t> FullPool(const DatabaseScheme& scheme) {
 
 SchemeClosure ComputeSchemeClosure(const DatabaseScheme& scheme, size_t j,
                                    const std::vector<size_t>& pool) {
+  IRD_DCHECK(j < scheme.size());
   SchemeClosure out;
   out.closure = scheme.relation(j).attrs;
   std::vector<bool> absorbed(scheme.size(), false);
@@ -35,6 +36,9 @@ SchemeClosure ComputeSchemeClosure(const DatabaseScheme& scheme, size_t j,
       if (r.ContainsKey(out.closure)) {
         out.steps.push_back(ClosureStep{i, out.closure});
         out.closure.UnionWith(r.attrs);
+        // Every recorded step strictly grows the closure — partial
+        // computations replayed from `steps` terminate on this.
+        IRD_DCHECK(out.steps.back().closure_before != out.closure);
         absorbed[i] = true;
         changed = true;
       }

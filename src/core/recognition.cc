@@ -8,7 +8,7 @@ DatabaseScheme InducedScheme(
   DatabaseScheme induced(scheme.universe_ptr());
   for (const std::vector<size_t>& block : partition) {
     RelationScheme merged;
-    merged.name = "D" + std::to_string(induced.size() + 1);
+    merged.name = 'D' + std::to_string(induced.size() + 1);
     for (size_t i : block) {
       const RelationScheme& r = scheme.relation(i);
       merged.attrs.UnionWith(r.attrs);

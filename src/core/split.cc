@@ -20,10 +20,12 @@ std::vector<size_t> PoolOrAll(const DatabaseScheme& scheme,
 
 bool IsKeySplit(const DatabaseScheme& scheme, const AttributeSet& key,
                 const std::vector<size_t>& pool) {
+  IRD_DCHECK(!key.Empty());
   std::vector<size_t> p = PoolOrAll(scheme, pool);
   // W = schemes of the pool not containing K; G = their key dependencies.
   std::vector<size_t> w;
   for (size_t i : p) {
+    IRD_DCHECK(i < scheme.size());
     if (!key.IsSubsetOf(scheme.relation(i).attrs)) w.push_back(i);
   }
   FdSet g = scheme.KeyDependenciesOf(w);
@@ -62,6 +64,9 @@ bool IsKeySplitInClosureOf(const DatabaseScheme& scheme,
         return true;
       }
       AttributeSet next = closure.Union(sj.attrs);
+      // Applicability guarantees strict growth, which bounds the BFS by
+      // the (finite) lattice of closure states.
+      IRD_DCHECK(closure.IsSubsetOf(next) && next != closure);
       if (visited.insert(next).second) {
         queue.push_back(std::move(next));
       }

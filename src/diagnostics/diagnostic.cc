@@ -1,0 +1,159 @@
+#include "diagnostics/diagnostic.h"
+
+namespace ird::diagnostics {
+
+namespace {
+
+// Joins relation names as "R1,R2,R3".
+std::string NameList(const DatabaseScheme& scheme,
+                     const std::vector<size_t>& indices) {
+  std::string out;
+  for (size_t k = 0; k < indices.size(); ++k) {
+    if (k > 0) out += ",";
+    out += scheme.relation(indices[k]).name;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AttributeSet> FdTrace::Replay(const DatabaseScheme& scheme) const {
+  AttributeSet current = start;
+  for (size_t t = 0; t < steps.size(); ++t) {
+    const FdStep& step = steps[t];
+    if (step.relation >= scheme.size()) {
+      return InvalidArgument("trace step " + std::to_string(t) +
+                             " names relation index out of range");
+    }
+    const RelationScheme& r = scheme.relation(step.relation);
+    if (step.key_index >= r.keys.size()) {
+      return InvalidArgument("trace step " + std::to_string(t) +
+                             " names a key index out of range for " + r.name);
+    }
+    if (!r.keys[step.key_index].IsSubsetOf(current)) {
+      return FailedPrecondition(
+          "trace step " + std::to_string(t) + " not applicable: key " +
+          scheme.universe().Format(r.keys[step.key_index]) + " of " + r.name +
+          " not contained in the running set " +
+          scheme.universe().Format(current));
+    }
+    current.UnionWith(r.attrs);
+  }
+  return current;
+}
+
+const std::vector<RuleInfo>& RuleRegistry() {
+  static const std::vector<RuleInfo> kRules = {
+      {RuleId::kUncoveredAttribute, "uncovered-attribute", Severity::kError,
+       "§2.1 (∪Ri = U)",
+       "a universe attribute appears in no relation scheme"},
+      {RuleId::kDuplicateRelation, "duplicate-relation", Severity::kError,
+       "§2.1", "two relations declare identical attribute sets"},
+      {RuleId::kNonMinimalKey, "non-minimal-key", Severity::kError,
+       "§2.3 (candidate keys)",
+       "a declared key has a proper subset that already determines the "
+       "relation"},
+      {RuleId::kRedundantKey, "redundant-key", Severity::kWarning, "§2.3",
+       "a declared key is duplicated or shadowed by a sibling key"},
+      {RuleId::kNonKeyEquivalent, "non-key-equivalent", Severity::kNote,
+       "§3 (Algorithm 3)",
+       "a relation's scheme closure cannot absorb the whole scheme, so "
+       "whole-scheme Algorithm 2 maintenance does not apply"},
+      {RuleId::kSplitKey, "split-key", Severity::kWarning,
+       "§3.3, Lemma 3.8 / Theorem 3.4",
+       "a key is split in its key-equivalent block — the block is not "
+       "constant-time maintainable"},
+      {RuleId::kRecognitionRejected, "recognition-rejected", Severity::kError,
+       "§5.2, Algorithm 6",
+       "the scheme is not independence-reducible: the induced scheme of "
+       "the key-equivalent partition fails the uniqueness condition"},
+      {RuleId::kGammaCycle, "gamma-cycle", Severity::kNote, "§2.4 [F3]",
+       "the scheme hypergraph has a γ-cycle, so it is not γ-acyclic"},
+      {RuleId::kUnsoundEmbeddedCover, "unsound-embedded-cover",
+       Severity::kWarning, "§2.3 (cover-embedding / BCNF)",
+       "a hidden dependency is embedded in a relation whose declared keys "
+       "do not cover it (the relation is not BCNF wrt F+)"},
+      {RuleId::kUnreachableAttribute, "unreachable-attribute", Severity::kNote,
+       "§2.6 (extension joins)",
+       "no extension join anchored outside the attribute's relations can "
+       "reach it"},
+  };
+  return kRules;
+}
+
+const RuleInfo& InfoFor(RuleId id) {
+  for (const RuleInfo& info : RuleRegistry()) {
+    if (info.id == id) return info;
+  }
+  IRD_CHECK_MSG(false, "rule id missing from registry");
+  __builtin_unreachable();
+}
+
+const char* RuleName(RuleId id) { return InfoFor(id).name; }
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::Signature(const DatabaseScheme& scheme) const {
+  const Universe& u = scheme.universe();
+  std::string out = RuleName(rule);
+  struct Visitor {
+    const DatabaseScheme& scheme;
+    const Universe& u;
+    std::string& out;
+
+    void operator()(const UncoveredAttributeWitness& w) const {
+      out += " attr=" + u.Name(w.attribute);
+    }
+    void operator()(const DuplicateRelationWitness& w) const {
+      out += " rel=" + scheme.relation(w.first).name + "," +
+             scheme.relation(w.second).name;
+    }
+    void operator()(const NonMinimalKeyWitness& w) const {
+      const RelationScheme& r = scheme.relation(w.relation);
+      out += " rel=" + r.name + " key=" + u.Format(r.keys[w.key_index]) +
+             " reduced=" + u.Format(w.reduced);
+    }
+    void operator()(const RedundantKeyWitness& w) const {
+      const RelationScheme& r = scheme.relation(w.relation);
+      out += " rel=" + r.name + " key=" + u.Format(r.keys[w.key_index]) +
+             " shadowed-by=" + u.Format(r.keys[w.shadowed_by]);
+    }
+    void operator()(const NonKeyEquivalentWitness& w) const {
+      out += " rel=" + scheme.relation(w.relation).name +
+             " missing=" + u.Format(w.missing);
+    }
+    void operator()(const SplitKeyWitness& w) const {
+      out += " key=" + u.Format(w.key) + " pool=" + NameList(scheme, w.pool);
+    }
+    void operator()(const RecognitionRejectedWitness& w) const {
+      out += " blocks=" + std::to_string(w.partition.size()) +
+             " i=" + NameList(scheme, w.partition[w.block_i]) +
+             " j=" + NameList(scheme, w.partition[w.block_j]) +
+             " key=" + u.Format(w.key) + " attr=" + u.Name(w.attribute);
+    }
+    void operator()(const GammaCycleWitness& w) const {
+      out += " edges=" + NameList(scheme, w.edges);
+    }
+    void operator()(const UnsoundCoverWitness& w) const {
+      out += " rel=" + scheme.relation(w.relation).name +
+             " lhs=" + u.Format(w.lhs) + " rhs=" + u.Name(w.determined);
+    }
+    void operator()(const UnreachableAttributeWitness& w) const {
+      out += " attr=" + u.Name(w.attribute);
+    }
+  };
+  std::visit(Visitor{scheme, u, out}, witness);
+  return out;
+}
+
+}  // namespace ird::diagnostics

@@ -1,0 +1,186 @@
+// Structured, witness-backed diagnostics over a DatabaseScheme — the
+// static-analysis counterpart of core/classify.h. Where ClassifyScheme
+// answers *whether* a scheme is independence-reducible / split-free / ctm,
+// the lint rules of this subsystem explain *why not*: every Diagnostic
+// carries a machine-checkable witness (a closure gap, a Lemma 3.8 covering
+// sequence plus adversarial instance, a γ-cycle, ...) that verify.h can
+// re-certify without trusting the production decision procedures.
+
+#ifndef IRD_DIAGNOSTICS_DIAGNOSTIC_H_
+#define IRD_DIAGNOSTICS_DIAGNOSTIC_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/attribute_set.h"
+#include "base/status.h"
+#include "relation/database_state.h"
+#include "schema/database_scheme.h"
+
+namespace ird::diagnostics {
+
+// Stable rule identifiers. RuleRegistry() maps each to its kebab-case name,
+// default severity, and paper reference.
+enum class RuleId {
+  kUncoveredAttribute,    // U attribute in no relation scheme
+  kDuplicateRelation,     // two relations with identical attribute sets
+  kNonMinimalKey,         // declared key reducible wrt the global F
+  kRedundantKey,          // declared key duplicated / shadowed by a sibling
+  kNonKeyEquivalent,      // relation whose Algorithm 3 closure misses U
+  kSplitKey,              // split key in a KEP block (Lemma 3.8)
+  kRecognitionRejected,   // Algorithm 6 rejection with its partition trace
+  kGammaCycle,            // γ-cycle of the scheme hypergraph
+  kUnsoundEmbeddedCover,  // hidden FD: relation not BCNF wrt F+
+  kUnreachableAttribute,  // attribute no extension join can reach
+};
+
+enum class Severity { kError, kWarning, kNote };
+
+// One application of an embedded key dependency: the key
+// scheme.relation(relation).keys[key_index] -> scheme.relation(relation).attrs.
+struct FdStep {
+  size_t relation = 0;
+  size_t key_index = 0;
+};
+
+// A replayable derivation: starting from `start`, apply each step's key
+// dependency in order. Replay fails unless every step is applicable (its
+// key is contained in the running set) — this is what makes closure claims
+// self-certifying.
+struct FdTrace {
+  AttributeSet start;
+  std::vector<FdStep> steps;
+
+  // The derived attribute set, or an error naming the first bad step.
+  Result<AttributeSet> Replay(const DatabaseScheme& scheme) const;
+};
+
+// --- Witness payloads, one per rule -----------------------------------
+
+struct UncoveredAttributeWitness {
+  AttributeId attribute = 0;  // in U but in no relation scheme
+};
+
+struct DuplicateRelationWitness {
+  size_t first = 0;
+  size_t second = 0;  // relation(first).attrs == relation(second).attrs
+};
+
+struct NonMinimalKeyWitness {
+  size_t relation = 0;
+  size_t key_index = 0;
+  // The proper subset that already determines the relation, plus the
+  // derivation certifying reduced -> attrs ∈ F+.
+  AttributeSet reduced;
+  FdTrace derivation;
+};
+
+struct RedundantKeyWitness {
+  size_t relation = 0;
+  size_t key_index = 0;    // the redundant declaration
+  size_t shadowed_by = 0;  // sibling key with keys[shadowed_by] ⊆ keys[key_index]
+};
+
+// Why the scheme is not key-equivalent: the maximal Algorithm 3 closure of
+// `relation` (reached by absorbing `absorbed` in order) misses `missing`.
+struct NonKeyEquivalentWitness {
+  size_t relation = 0;
+  std::vector<size_t> absorbed;  // partial-computation order, start excluded
+  AttributeSet closure;          // the fixpoint
+  AttributeSet missing;          // ∪R - closure (nonempty)
+};
+
+// A split key K in the key-equivalent pool (Lemma 3.8): `covering` is a
+// partial computation over W = {Rp ∈ pool : K ⊄ Rp} whose union covers K
+// while no member contains K. When built, the adversarial instance of
+// Lemmas 3.5-3.7 rides along: `state` is consistent, state ∪ {insert} is
+// not, and dropping the covering fragments makes the insert consistent
+// again — certifying that no constant-time key probe can reject it.
+struct SplitKeyWitness {
+  AttributeSet key;
+  std::vector<size_t> pool;      // the KEP block (key-equivalent)
+  std::vector<size_t> covering;  // the Lemma 3.8 sequence S_l
+  std::optional<DatabaseState> state;
+  size_t insert_rel = 0;
+  PartialTuple insert;
+};
+
+// Algorithm 6 rejection: the KEP partition (the block trace) plus the
+// uniqueness violation on the induced scheme D — the closure of block_i's
+// union wrt F_D minus block_j's dependencies embeds key -> attribute of
+// block_j.
+struct RecognitionRejectedWitness {
+  std::vector<std::vector<size_t>> partition;
+  size_t block_i = 0;
+  size_t block_j = 0;
+  AttributeSet key;           // a key of the merged block_j relation
+  AttributeId attribute = 0;  // ∈ attrs(block_j) - key, inside the closure
+};
+
+// A γ-cycle (S1, x1, ..., Sm, xm, S1) with edge indices = relation indices;
+// the exempt connector is connectors[0].
+struct GammaCycleWitness {
+  std::vector<size_t> edges;
+  std::vector<AttributeId> connectors;
+};
+
+// A hidden dependency: lhs -> determined ∈ F+ is embedded in `relation`
+// (certified by `derivation`) but lhs is not a superkey of it
+// (not_determined ∈ attrs - Closure_F(lhs)), so the relation's declared
+// keys are not a cover of F+ projected onto it.
+struct UnsoundCoverWitness {
+  size_t relation = 0;
+  AttributeSet lhs;
+  AttributeId determined = 0;
+  FdTrace derivation;
+  AttributeId not_determined = 0;
+};
+
+// No extension join anchored outside the relations containing `attribute`
+// can ever reach it: for every relation in `outside` (exactly the relations
+// not containing the attribute), the FD closure of its scheme misses it.
+struct UnreachableAttributeWitness {
+  AttributeId attribute = 0;
+  std::vector<size_t> outside;
+};
+
+using Witness =
+    std::variant<UncoveredAttributeWitness, DuplicateRelationWitness,
+                 NonMinimalKeyWitness, RedundantKeyWitness,
+                 NonKeyEquivalentWitness, SplitKeyWitness,
+                 RecognitionRejectedWitness, GammaCycleWitness,
+                 UnsoundCoverWitness, UnreachableAttributeWitness>;
+
+struct Diagnostic {
+  RuleId rule = RuleId::kUncoveredAttribute;
+  Severity severity = Severity::kNote;
+  std::string message;            // human-readable, names relations/attrs
+  std::vector<size_t> relations;  // relations involved, for rendering
+  Witness witness;
+
+  // Canonical structural form, e.g. "split-key key=BC pool=R1,R2,R3".
+  // Built from the witness fields, never from `message`, so golden tests
+  // compare structure rather than wording.
+  std::string Signature(const DatabaseScheme& scheme) const;
+};
+
+// Static metadata for one rule.
+struct RuleInfo {
+  RuleId id;
+  const char* name;       // stable kebab-case id, used in signatures/JSON
+  Severity severity;      // default severity
+  const char* paper_ref;  // where the obstruction lives in the paper
+  const char* summary;    // one line for --help / docs
+};
+
+// All rules, in emission order.
+const std::vector<RuleInfo>& RuleRegistry();
+const RuleInfo& InfoFor(RuleId id);
+const char* RuleName(RuleId id);
+const char* SeverityName(Severity severity);
+
+}  // namespace ird::diagnostics
+
+#endif  // IRD_DIAGNOSTICS_DIAGNOSTIC_H_

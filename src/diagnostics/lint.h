@@ -1,0 +1,43 @@
+// The lint engine: runs every rule of the registry over one DatabaseScheme
+// and collects witness-backed diagnostics. Deterministic — rules iterate
+// relations, blocks and keys in declaration order — so reports are directly
+// comparable across runs (the golden tests rely on this).
+
+#ifndef IRD_DIAGNOSTICS_LINT_H_
+#define IRD_DIAGNOSTICS_LINT_H_
+
+#include <vector>
+
+#include "diagnostics/diagnostic.h"
+#include "schema/database_scheme.h"
+
+namespace ird::diagnostics {
+
+struct LintOptions {
+  // γ-cycle search is exponential in the number of edges; skip above this.
+  size_t max_gamma_edges = 10;
+  // The hidden-dependency rule enumerates attribute subsets per relation;
+  // skip relations wider than this.
+  size_t max_cover_attrs = 12;
+  // Build the Lemma 3.5-3.7 adversarial instance for each split key (costs
+  // one witness construction per split key; disable for bulk sweeps that
+  // only need the structural Lemma 3.8 certificate).
+  bool build_instance_witnesses = true;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  size_t CountSeverity(Severity severity) const;
+  bool HasErrors() const { return CountSeverity(Severity::kError) > 0; }
+};
+
+// Runs every rule. Never crashes on structurally well-formed schemes (what
+// DatabaseScheme::AddRelation admits), valid or not; semantically invalid
+// schemes simply earn error diagnostics.
+LintReport LintScheme(const DatabaseScheme& scheme,
+                      const LintOptions& options = {});
+
+}  // namespace ird::diagnostics
+
+#endif  // IRD_DIAGNOSTICS_LINT_H_

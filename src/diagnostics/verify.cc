@@ -1,0 +1,415 @@
+#include "diagnostics/verify.h"
+
+#include <unordered_set>
+
+#include "oracle/naive_chase.h"
+#include "oracle/naive_closure.h"
+
+namespace ird::diagnostics {
+
+namespace {
+
+Status Fail(const std::string& what) {
+  return FailedPrecondition("witness verification failed: " + what);
+}
+
+Status CheckRelationIndex(const DatabaseScheme& scheme, size_t i) {
+  if (i >= scheme.size()) {
+    return Fail("relation index " + std::to_string(i) + " out of range");
+  }
+  return OkStatus();
+}
+
+// The embedded key dependencies assembled from first principles (no cache,
+// no production helper): K -> attrs for every declared key.
+FdSet AssembleKeyDeps(const DatabaseScheme& scheme) {
+  FdSet out;
+  for (const RelationScheme& r : scheme.relations()) {
+    for (const AttributeSet& key : r.keys) {
+      out.Add(key, r.attrs);
+    }
+  }
+  return out;
+}
+
+// Key dependencies of a subset of relations.
+FdSet AssembleKeyDeps(const DatabaseScheme& scheme,
+                      const std::vector<size_t>& pool) {
+  FdSet out;
+  for (size_t i : pool) {
+    const RelationScheme& r = scheme.relation(i);
+    for (const AttributeSet& key : r.keys) {
+      out.Add(key, r.attrs);
+    }
+  }
+  return out;
+}
+
+// Key-equivalence of `pool` from the definition: every member's naive FD
+// closure wrt the pool's own key dependencies reaches the pool's union.
+Status CheckPoolKeyEquivalent(const DatabaseScheme& scheme,
+                              const std::vector<size_t>& pool) {
+  FdSet deps = AssembleKeyDeps(scheme, pool);
+  AttributeSet all;
+  for (size_t i : pool) all.UnionWith(scheme.relation(i).attrs);
+  for (size_t i : pool) {
+    if (!all.IsSubsetOf(
+            oracle::NaiveClosure(deps, scheme.relation(i).attrs))) {
+      return Fail("pool is not key-equivalent: closure of " +
+                  scheme.relation(i).name + " misses part of the pool");
+    }
+  }
+  return OkStatus();
+}
+
+Status Verify(const DatabaseScheme& scheme,
+              const UncoveredAttributeWitness& w) {
+  if (w.attribute >= scheme.universe().size()) {
+    return Fail("attribute id outside the universe");
+  }
+  for (const RelationScheme& r : scheme.relations()) {
+    if (r.attrs.Contains(w.attribute)) {
+      return Fail("attribute " + scheme.universe().Name(w.attribute) +
+                  " is covered by " + r.name);
+    }
+  }
+  return OkStatus();
+}
+
+Status Verify(const DatabaseScheme& scheme,
+              const DuplicateRelationWitness& w) {
+  IRD_RETURN_IF_ERROR(CheckRelationIndex(scheme, w.first));
+  IRD_RETURN_IF_ERROR(CheckRelationIndex(scheme, w.second));
+  if (w.first == w.second) return Fail("a relation cannot duplicate itself");
+  if (scheme.relation(w.first).attrs != scheme.relation(w.second).attrs) {
+    return Fail("the two relations have different attribute sets");
+  }
+  return OkStatus();
+}
+
+Status Verify(const DatabaseScheme& scheme, const NonMinimalKeyWitness& w) {
+  IRD_RETURN_IF_ERROR(CheckRelationIndex(scheme, w.relation));
+  const RelationScheme& r = scheme.relation(w.relation);
+  if (w.key_index >= r.keys.size()) return Fail("key index out of range");
+  const AttributeSet& key = r.keys[w.key_index];
+  if (w.reduced.Empty() || !w.reduced.IsProperSubsetOf(key)) {
+    return Fail("reduced set is not a nonempty proper subset of the key");
+  }
+  if (w.derivation.start != w.reduced) {
+    return Fail("derivation does not start from the reduced set");
+  }
+  Result<AttributeSet> derived = w.derivation.Replay(scheme);
+  if (!derived.ok()) return derived.status();
+  if (!r.attrs.IsSubsetOf(*derived)) {
+    return Fail("derivation from the reduced set does not determine " +
+                r.name);
+  }
+  return OkStatus();
+}
+
+Status Verify(const DatabaseScheme& scheme, const RedundantKeyWitness& w) {
+  IRD_RETURN_IF_ERROR(CheckRelationIndex(scheme, w.relation));
+  const RelationScheme& r = scheme.relation(w.relation);
+  if (w.key_index >= r.keys.size() || w.shadowed_by >= r.keys.size()) {
+    return Fail("key index out of range");
+  }
+  if (w.key_index == w.shadowed_by) {
+    return Fail("a key cannot shadow itself");
+  }
+  if (!r.keys[w.shadowed_by].IsSubsetOf(r.keys[w.key_index])) {
+    return Fail("the sibling key is not contained in the reported key");
+  }
+  return OkStatus();
+}
+
+Status Verify(const DatabaseScheme& scheme,
+              const NonKeyEquivalentWitness& w) {
+  IRD_RETURN_IF_ERROR(CheckRelationIndex(scheme, w.relation));
+  // Replay the absorption order (Algorithm 3 applicability at every step).
+  AttributeSet current = scheme.relation(w.relation).attrs;
+  for (size_t step : w.absorbed) {
+    IRD_RETURN_IF_ERROR(CheckRelationIndex(scheme, step));
+    if (!scheme.relation(step).ContainsKey(current)) {
+      return Fail("absorption of " + scheme.relation(step).name +
+                  " is not applicable at its point in the trace");
+    }
+    current.UnionWith(scheme.relation(step).attrs);
+  }
+  if (current != w.closure) {
+    return Fail("replayed closure differs from the recorded fixpoint");
+  }
+  // Maximality: the recorded closure must be closed under every key
+  // dependency, which makes it *the* scheme closure — so `missing` really
+  // is unreachable.
+  for (const RelationScheme& r : scheme.relations()) {
+    if (r.ContainsKey(current) && !r.attrs.IsSubsetOf(current)) {
+      return Fail("recorded closure is not a fixpoint: " + r.name +
+                  " is still absorbable");
+    }
+  }
+  AttributeSet all;
+  for (const RelationScheme& r : scheme.relations()) all.UnionWith(r.attrs);
+  if (w.missing.Empty() || w.missing != all.Minus(current)) {
+    return Fail("missing set does not equal the closure gap");
+  }
+  return OkStatus();
+}
+
+Status Verify(const DatabaseScheme& scheme, const SplitKeyWitness& w) {
+  if (w.key.Empty()) return Fail("empty split key");
+  if (w.pool.empty() || w.covering.empty()) {
+    return Fail("empty pool or covering sequence");
+  }
+  std::unordered_set<size_t> pool_set;
+  for (size_t i : w.pool) {
+    IRD_RETURN_IF_ERROR(CheckRelationIndex(scheme, i));
+    if (!pool_set.insert(i).second) return Fail("duplicate pool member");
+  }
+  IRD_RETURN_IF_ERROR(CheckPoolKeyEquivalent(scheme, w.pool));
+  // The key must be a declared key of some pool member.
+  bool declared = false;
+  for (size_t i : w.pool) {
+    for (const AttributeSet& key : scheme.relation(i).keys) {
+      if (key == w.key) declared = true;
+    }
+  }
+  if (!declared) return Fail("split key is not declared by any pool member");
+  // Lemma 3.8 covering sequence: a partial computation over schemes not
+  // containing the key whose union covers it.
+  AttributeSet covered;
+  for (size_t t = 0; t < w.covering.size(); ++t) {
+    size_t rel = w.covering[t];
+    if (pool_set.find(rel) == pool_set.end()) {
+      return Fail("covering member outside the pool");
+    }
+    if (w.key.IsSubsetOf(scheme.relation(rel).attrs)) {
+      return Fail("covering member " + scheme.relation(rel).name +
+                  " contains the key outright");
+    }
+    if (t > 0 && !scheme.relation(rel).ContainsKey(covered)) {
+      return Fail("covering step " + scheme.relation(rel).name +
+                  " is not applicable in the partial computation");
+    }
+    covered.UnionWith(scheme.relation(rel).attrs);
+  }
+  if (!w.key.IsSubsetOf(covered)) {
+    return Fail("covering sequence does not cover the key");
+  }
+  if (!w.state.has_value()) return OkStatus();
+  // The adversarial instance (Lemmas 3.5-3.7), checked by the naive chase:
+  // (a) the base state is consistent; (c) adding the insert breaks it;
+  // (b) without the covering fragments the insert is invisible.
+  const DatabaseState& state = *w.state;
+  if (state.scheme().size() != scheme.size()) {
+    return Fail("instance state shaped for a different scheme");
+  }
+  IRD_RETURN_IF_ERROR(CheckRelationIndex(scheme, w.insert_rel));
+  if (w.insert.attrs() != scheme.relation(w.insert_rel).attrs) {
+    return Fail("insert tuple not on the target relation's scheme");
+  }
+  if (!oracle::IsConsistentNaive(state)) {
+    return Fail("adversarial base state is not consistent");
+  }
+  if (oracle::WouldRemainConsistentNaive(state, w.insert_rel, w.insert)) {
+    return Fail("insert does not make the adversarial state inconsistent");
+  }
+  DatabaseState reduced(state.scheme());
+  std::unordered_set<size_t> covering_set(w.covering.begin(),
+                                          w.covering.end());
+  for (size_t i = 0; i < state.relation_count(); ++i) {
+    if (covering_set.find(i) != covering_set.end()) continue;
+    for (const PartialTuple& t : state.relation(i).tuples()) {
+      reduced.mutable_relation(i).Add(t);
+    }
+  }
+  if (!oracle::WouldRemainConsistentNaive(reduced, w.insert_rel, w.insert)) {
+    return Fail(
+        "insert is already inconsistent without the covering fragments — "
+        "a key probe would catch it");
+  }
+  return OkStatus();
+}
+
+Status Verify(const DatabaseScheme& scheme,
+              const RecognitionRejectedWitness& w) {
+  // The partition must partition the relation indices exactly.
+  std::vector<bool> seen(scheme.size(), false);
+  size_t covered = 0;
+  for (const std::vector<size_t>& block : w.partition) {
+    if (block.empty()) return Fail("empty partition block");
+    for (size_t i : block) {
+      IRD_RETURN_IF_ERROR(CheckRelationIndex(scheme, i));
+      if (seen[i]) return Fail("relation appears in two blocks");
+      seen[i] = true;
+      ++covered;
+    }
+  }
+  if (covered != scheme.size()) {
+    return Fail("partition does not cover every relation");
+  }
+  if (w.block_i >= w.partition.size() || w.block_j >= w.partition.size() ||
+      w.block_i == w.block_j) {
+    return Fail("violating block indices invalid");
+  }
+  // Every block must be key-equivalent (the KEP part of the trace).
+  for (const std::vector<size_t>& block : w.partition) {
+    IRD_RETURN_IF_ERROR(CheckPoolKeyEquivalent(scheme, block));
+  }
+  // Rebuild the induced relations of the two blocks from first principles.
+  auto block_union = [&](size_t b) {
+    AttributeSet out;
+    for (size_t i : w.partition[b]) {
+      out.UnionWith(scheme.relation(i).attrs);
+    }
+    return out;
+  };
+  AttributeSet attrs_j = block_union(w.block_j);
+  bool declared = false;
+  for (size_t i : w.partition[w.block_j]) {
+    for (const AttributeSet& key : scheme.relation(i).keys) {
+      if (key == w.key) declared = true;
+    }
+  }
+  if (!declared) return Fail("key is not declared inside block j");
+  if (!attrs_j.Contains(w.attribute) || w.key.Contains(w.attribute)) {
+    return Fail("attribute is not in block j's scheme minus the key");
+  }
+  // F_D - F_j: the induced key dependencies of every block except j.
+  FdSet f_minus_j;
+  for (size_t b = 0; b < w.partition.size(); ++b) {
+    if (b == w.block_j) continue;
+    AttributeSet attrs_b = block_union(b);
+    for (size_t i : w.partition[b]) {
+      for (const AttributeSet& key : scheme.relation(i).keys) {
+        f_minus_j.Add(key, attrs_b);
+      }
+    }
+  }
+  AttributeSet closure =
+      oracle::NaiveClosure(f_minus_j, block_union(w.block_i));
+  if (!w.key.IsSubsetOf(closure) || !closure.Contains(w.attribute)) {
+    return Fail(
+        "closure of block i without block j's dependencies does not embed "
+        "the reported key dependency");
+  }
+  return OkStatus();
+}
+
+Status Verify(const DatabaseScheme& scheme, const GammaCycleWitness& w) {
+  size_t m = w.edges.size();
+  if (m < 3 || w.connectors.size() != m) {
+    return Fail("gamma-cycle needs >= 3 edges and one connector per edge");
+  }
+  std::unordered_set<size_t> edge_set;
+  for (size_t e : w.edges) {
+    IRD_RETURN_IF_ERROR(CheckRelationIndex(scheme, e));
+    if (!edge_set.insert(e).second) return Fail("repeated cycle edge");
+  }
+  std::unordered_set<AttributeId> connector_set;
+  for (AttributeId x : w.connectors) {
+    if (!connector_set.insert(x).second) {
+      return Fail("repeated cycle connector");
+    }
+  }
+  for (size_t k = 0; k < m; ++k) {
+    const AttributeSet& here = scheme.relation(w.edges[k]).attrs;
+    const AttributeSet& next = scheme.relation(w.edges[(k + 1) % m]).attrs;
+    if (!here.Contains(w.connectors[k]) || !next.Contains(w.connectors[k])) {
+      return Fail("connector " + scheme.universe().Name(w.connectors[k]) +
+                  " does not join its two neighbor edges");
+    }
+    if (k == 0) continue;  // x1 is the exempt (possibly shared) connector
+    for (size_t other = 0; other < m; ++other) {
+      if (other == k || other == (k + 1) % m) continue;
+      if (scheme.relation(w.edges[other]).attrs.Contains(w.connectors[k])) {
+        return Fail("non-exempt connector " +
+                    scheme.universe().Name(w.connectors[k]) +
+                    " appears in a non-neighbor cycle edge");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status Verify(const DatabaseScheme& scheme, const UnsoundCoverWitness& w) {
+  IRD_RETURN_IF_ERROR(CheckRelationIndex(scheme, w.relation));
+  const RelationScheme& r = scheme.relation(w.relation);
+  if (!w.lhs.IsSubsetOf(r.attrs) || w.lhs.Empty()) {
+    return Fail("lhs is not a nonempty subset of the relation scheme");
+  }
+  if (!r.attrs.Contains(w.determined) || w.lhs.Contains(w.determined)) {
+    return Fail("determined attribute not in the relation minus the lhs");
+  }
+  if (!r.attrs.Contains(w.not_determined)) {
+    return Fail("superkey-gap attribute not in the relation");
+  }
+  if (w.derivation.start != w.lhs) {
+    return Fail("derivation does not start from the lhs");
+  }
+  Result<AttributeSet> derived = w.derivation.Replay(scheme);
+  if (!derived.ok()) return derived.status();
+  if (!derived->Contains(w.determined)) {
+    return Fail("derivation does not reach the determined attribute");
+  }
+  // The negative half — lhs is NOT a superkey — against the naive closure.
+  if (oracle::NaiveClosure(AssembleKeyDeps(scheme), w.lhs)
+          .Contains(w.not_determined)) {
+    return Fail("lhs determines the supposed gap attribute after all");
+  }
+  return OkStatus();
+}
+
+Status Verify(const DatabaseScheme& scheme,
+              const UnreachableAttributeWitness& w) {
+  bool contained = false;
+  std::vector<size_t> expected_outside;
+  for (size_t i = 0; i < scheme.size(); ++i) {
+    if (scheme.relation(i).attrs.Contains(w.attribute)) {
+      contained = true;
+    } else {
+      expected_outside.push_back(i);
+    }
+  }
+  if (!contained) return Fail("attribute belongs to no relation at all");
+  if (w.outside != expected_outside) {
+    return Fail("outside list is not exactly the non-containing relations");
+  }
+  if (w.outside.empty()) return Fail("vacuous: every relation contains it");
+  FdSet deps = AssembleKeyDeps(scheme);
+  for (size_t i : w.outside) {
+    if (oracle::NaiveClosure(deps, scheme.relation(i).attrs)
+            .Contains(w.attribute)) {
+      return Fail("closure of " + scheme.relation(i).name +
+                  " reaches the attribute after all");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status VerifyWitness(const DatabaseScheme& scheme, const Diagnostic& d) {
+  return std::visit([&](const auto& w) { return Verify(scheme, w); },
+                    d.witness);
+}
+
+Status VerifyReport(const DatabaseScheme& scheme, const LintReport& report) {
+  for (const Diagnostic& d : report.diagnostics) {
+    Status s = VerifyWitness(scheme, d);
+    if (!s.ok()) {
+      std::string message = "[";
+      message += d.Signature(scheme);
+      message += "] ";
+      message += s.message();
+      return Status(s.code(), std::move(message));
+    }
+  }
+  return OkStatus();
+}
+
+Status LintSelfCheck(const DatabaseScheme& scheme,
+                     const LintOptions& options) {
+  return VerifyReport(scheme, LintScheme(scheme, options));
+}
+
+}  // namespace ird::diagnostics

@@ -1,0 +1,30 @@
+// Independent witness checking: re-certifies every Diagnostic against the
+// definition-literal oracles (oracle/naive_closure.h, oracle/naive_chase.h)
+// and raw set replay, deliberately bypassing the optimized decision
+// procedures that emitted it. A diagnostic whose witness fails here is a
+// bug in the lint rules — the fuzzer asserts this never happens.
+
+#ifndef IRD_DIAGNOSTICS_VERIFY_H_
+#define IRD_DIAGNOSTICS_VERIFY_H_
+
+#include "base/status.h"
+#include "diagnostics/diagnostic.h"
+#include "diagnostics/lint.h"
+#include "schema/database_scheme.h"
+
+namespace ird::diagnostics {
+
+// OK iff the diagnostic's witness certifies its claim on `scheme`.
+Status VerifyWitness(const DatabaseScheme& scheme, const Diagnostic& d);
+
+// First failing witness of the report, or OK. The message names the rule
+// and its signature.
+Status VerifyReport(const DatabaseScheme& scheme, const LintReport& report);
+
+// The fuzz hook: lints the scheme and verifies every emitted witness.
+Status LintSelfCheck(const DatabaseScheme& scheme,
+                     const LintOptions& options = {});
+
+}  // namespace ird::diagnostics
+
+#endif  // IRD_DIAGNOSTICS_VERIFY_H_

@@ -7,9 +7,15 @@ namespace ird {
 std::string GammaCycle::ToString(const Universe& universe) const {
   std::string out = "(";
   for (size_t i = 0; i < edges.size(); ++i) {
-    out += "E" + std::to_string(edges[i] + 1) + ", ";
+    out += 'E';
+    out += std::to_string(edges[i] + 1);
+    out += ", ";
     out += universe.Name(connectors[i]);
-    out += i + 1 < edges.size() ? ", " : ", E" + std::to_string(edges[0] + 1);
+    out += ", ";
+    if (i + 1 == edges.size()) {
+      out += 'E';
+      out += std::to_string(edges[0] + 1);
+    }
   }
   return out + ")";
 }

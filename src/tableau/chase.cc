@@ -31,6 +31,9 @@ ChaseStats ChaseFds(Tableau* t, const FdSet& fds) {
     changed = false;
     ++stats.passes;
     for (const FunctionalDependency& fd : standard.fds()) {
+      // StandardForm splits every FD into single-attribute right sides; the
+      // bucket structure below is only sound under that shape.
+      IRD_DCHECK(fd.rhs.Count() == 1);
       std::vector<AttributeId> lhs_cols = fd.lhs.ToVector();
       AttributeId rhs_col = fd.rhs.First();
       // Bucket rows by their canonical left-side symbols; within a bucket,
@@ -55,6 +58,8 @@ ChaseStats ChaseFds(Tableau* t, const FdSet& fds) {
             }
             ++stats.rule_applications;
             changed = true;
+            // A successful Equate must actually merge the classes.
+            IRD_DCHECK(t->Canonical(existing) == t->Canonical(rhs_sym));
           }
           it->second = t->Canonical(rhs_sym);
         }

@@ -184,13 +184,16 @@ std::string Tableau::ToString(const Universe& universe) const {
       const SymbolInfo& info = symbols_[s];
       switch (info.kind) {
         case SymbolKind::kConstant:
-          out += "c" + std::to_string(info.aux);
+          out += 'c';
+          out += std::to_string(info.aux);
           break;
         case SymbolKind::kDistinguished:
-          out += "a" + std::to_string(info.aux);
+          out += 'a';
+          out += std::to_string(info.aux);
           break;
         case SymbolKind::kNondistinguished:
-          out += "b" + std::to_string(info.aux);
+          out += 'b';
+          out += std::to_string(info.aux);
           break;
       }
       out += "\t";

@@ -25,7 +25,7 @@ DatabaseScheme MakeChainScheme(size_t n) {
   }
   for (size_t i = 0; i < n; ++i) {
     RelationScheme r;
-    r.name = "R" + std::to_string(i + 1);
+    r.name = 'R' + std::to_string(i + 1);
     r.attrs = AttributeSet{a[i], a[i + 1]};
     r.keys = {AttributeSet{a[i]}, AttributeSet{a[i + 1]}};
     scheme.AddRelation(std::move(r));
@@ -89,7 +89,7 @@ DatabaseScheme MakeIndependentScheme(size_t m) {
   }
   for (size_t i = 0; i < m; ++i) {
     RelationScheme r;
-    r.name = "R" + std::to_string(i + 1);
+    r.name = 'R' + std::to_string(i + 1);
     r.attrs = AttributeSet{key[i], payload[i]};
     if (i + 1 < m) r.attrs.Add(key[i + 1]);
     r.keys = {AttributeSet{key[i]}};
@@ -109,21 +109,26 @@ DatabaseScheme MakeBlockScheme(size_t blocks, size_t block_size) {
   for (size_t i = 0; i < blocks; ++i) {
     x[i].resize(block_size);
     for (size_t j = 0; j < block_size; ++j) {
-      x[i][j] = u.Intern("X" + std::to_string(i + 1) + "_" +
-                         std::to_string(j + 1));
+      std::string attr_name = 'X' + std::to_string(i + 1);
+      attr_name += '_';
+      attr_name += std::to_string(j + 1);
+      x[i][j] = u.Intern(attr_name);
     }
   }
   for (size_t i = 0; i < blocks; ++i) {
     for (size_t j = 0; j + 1 < block_size; ++j) {
       RelationScheme r;
-      r.name = "B" + std::to_string(i + 1) + "R" + std::to_string(j + 1);
+      r.name = 'B' + std::to_string(i + 1);
+      r.name += 'R';
+      r.name += std::to_string(j + 1);
       r.attrs = AttributeSet{x[i][j], x[i][j + 1]};
       r.keys = {AttributeSet{x[i][j]}, AttributeSet{x[i][j + 1]}};
       scheme.AddRelation(std::move(r));
     }
     if (i + 1 < blocks) {
       RelationScheme bridge;
-      bridge.name = "B" + std::to_string(i + 1) + "bridge";
+      bridge.name = 'B' + std::to_string(i + 1);
+      bridge.name += "bridge";
       bridge.attrs = AttributeSet{x[i][0], x[i + 1][0]};
       bridge.keys = {AttributeSet{x[i][0]}};
       scheme.AddRelation(std::move(bridge));
@@ -140,7 +145,7 @@ DatabaseScheme MakeStarScheme(size_t n) {
   for (size_t i = 0; i < n; ++i) {
     AttributeId a = u.Intern(AttrName("A", i + 1));
     RelationScheme r;
-    r.name = "R" + std::to_string(i + 1);
+    r.name = 'R' + std::to_string(i + 1);
     r.attrs = AttributeSet{c, a};
     r.keys = {AttributeSet{c}};
     scheme.AddRelation(std::move(r));
@@ -163,7 +168,7 @@ DatabaseScheme MakeTreeScheme(size_t nodes, double bidirectional,
   for (size_t child = 1; child < nodes; ++child) {
     size_t parent = rng() % child;
     RelationScheme r;
-    r.name = "E" + std::to_string(child);
+    r.name = 'E' + std::to_string(child);
     r.attrs = AttributeSet{attr[parent], attr[child]};
     r.keys = {AttributeSet{attr[parent]}};
     if (coin(rng) < bidirectional) {
@@ -329,7 +334,7 @@ DatabaseScheme MakeRandomScheme(const RandomSchemeOptions& options) {
   }
   for (size_t rel = 0; rel < attr_sets.size(); ++rel) {
     RelationScheme r;
-    r.name = "R" + std::to_string(rel + 1);
+    r.name = 'R' + std::to_string(rel + 1);
     r.attrs = attr_sets[rel];
     // Random initial key: a nonempty random subset.
     AttributeSet key;

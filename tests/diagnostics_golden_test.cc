@@ -1,0 +1,120 @@
+// Golden-file tests for the diagnostics engine over the anchor corpus.
+// Each tests/corpus/anchor-*.scheme has a tests/golden/<name>.golden file
+// holding one witness *signature* per line (sorted). Comparison is
+// structural — Diagnostic::Signature is built from witness fields, never
+// message wording — so reports may be reworded freely without churning the
+// goldens, while any change to what the rules find is a diff.
+//
+// Regenerate after an intentional rule change with:
+//   IRD_UPDATE_GOLDENS=1 ./build/tests/diagnostics_golden_test
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diagnostics/lint.h"
+#include "diagnostics/verify.h"
+#include "gtest/gtest.h"
+#include "oracle/corpus.h"
+
+#ifndef IRD_CORPUS_DIR
+#define IRD_CORPUS_DIR "tests/corpus"
+#endif
+#ifndef IRD_GOLDEN_DIR
+#define IRD_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace ird::diagnostics {
+namespace {
+
+bool IsAnchor(const std::string& filename) {
+  return filename.rfind("anchor-", 0) == 0;
+}
+
+// "anchor-example2-rejected-triangle.scheme" -> golden basename.
+std::string GoldenPath(const std::string& filename) {
+  std::string stem = filename.substr(0, filename.rfind(".scheme"));
+  return std::string(IRD_GOLDEN_DIR) + "/" + stem + ".golden";
+}
+
+std::vector<std::string> Signatures(const DatabaseScheme& scheme) {
+  LintReport report = LintScheme(scheme);
+  std::vector<std::string> out;
+  out.reserve(report.diagnostics.size());
+  for (const Diagnostic& d : report.diagnostics) {
+    out.push_back(d.Signature(scheme));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<std::string>> ReadGolden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFound("no golden file: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(DiagnosticsGolden, AnchorsMatchAndVerify) {
+  auto corpus = oracle::LoadCorpus(IRD_CORPUS_DIR);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  const bool update = std::getenv("IRD_UPDATE_GOLDENS") != nullptr;
+  size_t anchors = 0;
+  for (const oracle::CorpusEntry& entry : *corpus) {
+    if (!IsAnchor(entry.filename)) continue;
+    ++anchors;
+    SCOPED_TRACE(entry.filename);
+
+    // Every anchor's report must pass independent witness verification.
+    EXPECT_TRUE(LintSelfCheck(entry.scheme).ok());
+
+    std::vector<std::string> got = Signatures(entry.scheme);
+    const std::string path = GoldenPath(entry.filename);
+    if (update) {
+      std::ofstream out(path);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << "# " << entry.filename << ": sorted witness signatures\n";
+      for (const std::string& sig : got) out << sig << "\n";
+      continue;
+    }
+    auto want = ReadGolden(path);
+    ASSERT_TRUE(want.ok()) << want.status().ToString()
+                           << " (run with IRD_UPDATE_GOLDENS=1 to create)";
+    EXPECT_EQ(got, *want);
+  }
+  // All eight anchors must be present — a silently shrinking corpus would
+  // otherwise hollow the test out.
+  EXPECT_GE(anchors, 8u);
+}
+
+// The acceptance criterion of the rejected triangle spelled out: at least
+// one human-readable rejection explanation backed by a concrete witness.
+TEST(DiagnosticsGolden, RejectedTriangleHasRejectionExplanation) {
+  auto corpus = oracle::LoadCorpus(IRD_CORPUS_DIR);
+  ASSERT_TRUE(corpus.ok());
+  for (const oracle::CorpusEntry& entry : *corpus) {
+    if (entry.filename != "anchor-example2-rejected-triangle.scheme") continue;
+    LintReport report = LintScheme(entry.scheme);
+    size_t rejections = 0;
+    for (const Diagnostic& d : report.diagnostics) {
+      if (d.rule != RuleId::kRecognitionRejected) continue;
+      ++rejections;
+      EXPECT_FALSE(d.message.empty());
+      EXPECT_TRUE(VerifyWitness(entry.scheme, d).ok());
+    }
+    EXPECT_GE(rejections, 1u);
+    return;
+  }
+  FAIL() << "anchor-example2-rejected-triangle.scheme missing from corpus";
+}
+
+}  // namespace
+}  // namespace ird::diagnostics

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "diagnostics/verify.h"
 #include "gtest/gtest.h"
 #include "oracle/corpus.h"
 #include "oracle/differential.h"
@@ -117,6 +118,15 @@ class DifferentialFuzz : public ::testing::Test {
       }
       if (!scheme.Validate().ok()) continue;
       ++tested;
+
+      // The diagnostics engine must neither crash nor emit a witness its
+      // independent verifier rejects, on any scheme the fuzzer can build.
+      Status lint_ok = diagnostics::LintSelfCheck(scheme);
+      if (!lint_ok.ok()) {
+        ADD_FAILURE() << family.name << "[" << i
+                      << "] lint self-check: " << lint_ok.ToString();
+        if (++failures >= 3) break;
+      }
 
       DifferentialOptions opt;
       opt.seed = base_seed + i;

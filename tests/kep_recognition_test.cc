@@ -7,6 +7,7 @@
 #include "core/key_equivalence.h"
 #include "core/recognition.h"
 #include "core/split.h"
+#include "diagnostics/render.h"
 #include "hypergraph/hypergraph.h"
 #include "tests/test_util.h"
 #include "workload/generators.h"
@@ -291,7 +292,7 @@ TEST(ClassifyTest, Example1Report) {
   EXPECT_TRUE(c.bounded);
   EXPECT_TRUE(c.algebraic_maintainable);
   EXPECT_TRUE(c.ctm);  // the paper: "not only bounded, but ctm"
-  EXPECT_FALSE(c.ToString(test::Example1R()).empty());
+  EXPECT_FALSE(diagnostics::FormatSchemeReport(test::Example1R()).empty());
 }
 
 TEST(ClassifyTest, Example4Report) {
