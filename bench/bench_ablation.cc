@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/expression_maintenance.h"
 #include "hypergraph/gamma_cycle.h"
 #include "core/key_equivalent_maintainer.h"
@@ -148,4 +150,4 @@ BENCHMARK(BM_Gamma_UmcPairwise)->Arg(5)->Arg(7)->Arg(9);
 }  // namespace
 }  // namespace ird
 
-BENCHMARK_MAIN();
+IRD_BENCHMARK_MAIN();

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include <cstdio>
 
 #include "core/classify.h"
@@ -136,4 +138,4 @@ BENCHMARK(BM_ClassifyOne)->Arg(6)->Arg(10)->Arg(14);
 }  // namespace
 }  // namespace ird
 
-BENCHMARK_MAIN();
+IRD_BENCHMARK_MAIN();

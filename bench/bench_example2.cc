@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/key_equivalent_maintainer.h"
 #include "relation/weak_instance.h"
 #include "tests/test_util.h"
@@ -112,4 +114,4 @@ BENCHMARK(BM_Example4_NaiveRejectInsert)->Arg(16)->Arg(256)->Arg(4096);
 }  // namespace
 }  // namespace ird
 
-BENCHMARK_MAIN();
+IRD_BENCHMARK_MAIN();

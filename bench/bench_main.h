@@ -1,0 +1,29 @@
+// Shared main() for the google-benchmark binaries: BENCHMARK_MAIN plus the
+// obs export hooks, so every bench_* run can emit engine counters, a
+// per-phase span summary, and a chrome://tracing file of the workload:
+//
+//   IRD_TRACE_OUT=/tmp/trace.json ./build/bench/bench_recognition
+//   IRD_STATS=1                   ./build/bench/bench_maintenance
+//   IRD_STATS_OUT=/tmp/stats.json ./build/bench/bench_split_kep
+//
+// See docs/OBSERVABILITY.md for the formats.
+
+#ifndef IRD_BENCH_BENCH_MAIN_H_
+#define IRD_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include "obs/export.h"
+
+#define IRD_BENCHMARK_MAIN()                                            \
+  int main(int argc, char** argv) {                                     \
+    ird::obs::InitFromEnv();                                            \
+    benchmark::Initialize(&argc, argv);                                 \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    benchmark::RunSpecifiedBenchmarks();                                \
+    benchmark::Shutdown();                                              \
+    return ird::obs::ExportFromEnv(argv[0]);                            \
+  }                                                                     \
+  static_assert(true, "require a trailing semicolon")
+
+#endif  // IRD_BENCH_BENCH_MAIN_H_

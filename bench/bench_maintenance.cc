@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/block_maintainer.h"
 #include "core/ctm_maintainer.h"
 #include "core/key_equivalent_maintainer.h"
@@ -177,4 +179,4 @@ BENCHMARK(BM_CtmApplyInsert)->Iterations(100000);
 }  // namespace
 }  // namespace ird
 
-BENCHMARK_MAIN();
+IRD_BENCHMARK_MAIN();

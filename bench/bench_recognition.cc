@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/recognition.h"
 #include "workload/generators.h"
 
@@ -94,4 +96,4 @@ BENCHMARK(BM_IndependenceTest_Induced)->Arg(2)->Arg(8)->Arg(22);
 }  // namespace
 }  // namespace ird
 
-BENCHMARK_MAIN();
+IRD_BENCHMARK_MAIN();

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/kep.h"
 #include "core/split.h"
 #include "workload/generators.h"
@@ -67,4 +69,4 @@ BENCHMARK(BM_Kep_SingletonHeavy)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace ird
 
-BENCHMARK_MAIN();
+IRD_BENCHMARK_MAIN();

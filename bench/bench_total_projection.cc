@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include <string>
 
 #include "core/total_projection.h"
@@ -124,4 +126,4 @@ BENCHMARK(BM_BuildExpression)->Arg(2)->Arg(3)->Arg(4);
 }  // namespace
 }  // namespace ird
 
-BENCHMARK_MAIN();
+IRD_BENCHMARK_MAIN();

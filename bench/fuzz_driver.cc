@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "diagnostics/verify.h"
+#include "obs/export.h"
 #include "oracle/corpus.h"
 #include "oracle/differential.h"
 #include "oracle/mutate.h"
@@ -93,6 +94,22 @@ std::string Sanitize(std::string tag) {
   return tag;
 }
 
+// Engine-counter header line for a shrunk repro: the counters the repro's
+// own comparison run bumps, so a reader sees how much engine work the
+// disagreement takes to reproduce (and which engines it reaches at all).
+std::string CounterHeaderLine(const DatabaseScheme& repro,
+                              const DifferentialOptions& opt) {
+  obs::Snapshot before = obs::TakeSnapshot();
+  (void)CompareAgainstOracles(repro, opt);
+  obs::Snapshot delta = obs::DeltaSince(before);
+  std::string line = "counters:";
+  if (delta.counters.empty()) return line + " (none)";
+  for (const auto& [name, value] : delta.counters) {
+    line += " " + name + "=" + std::to_string(value);
+  }
+  return line;
+}
+
 int Run(const Args& args) {
   size_t total = 0, skipped = 0, disagreements = 0;
   for (const Family& family : kFamilies) {
@@ -130,7 +147,8 @@ int Run(const Args& args) {
             {"routine: diagnostics/verify", "detail: " + lint_ok.ToString(),
              "found by: fuzz_driver, " + std::string(family.name) +
                  " family, seed " + std::to_string(args.seed) +
-                 ", iteration " + std::to_string(i)});
+                 ", iteration " + std::to_string(i),
+             CounterHeaderLine(scheme, DifferentialOptions{})});
         if (!written.ok()) {
           std::fprintf(stderr, "corpus write failed: %s\n",
                        written.ToString().c_str());
@@ -158,7 +176,8 @@ int Run(const Args& args) {
           {"routine: " + first.routine, "detail: " + first.detail,
            "found by: fuzz_driver, " + std::string(family.name) +
                " family, seed " + std::to_string(args.seed) + ", iteration " +
-               std::to_string(i)});
+               std::to_string(i),
+           CounterHeaderLine(repro, opt)});
       if (!written.ok()) {
         std::fprintf(stderr, "corpus write failed: %s\n",
                      written.ToString().c_str());
@@ -172,6 +191,10 @@ int Run(const Args& args) {
   std::fprintf(stderr,
                "done: %zu schemes tested, %zu skipped, %zu disagreements\n",
                total, skipped, disagreements);
+  // Per-campaign engine accounting: what the sweep cost in chase steps,
+  // closure work and oracle comparisons, and where the time went.
+  std::fprintf(stderr, "=== campaign instrumentation summary ===\n%s",
+               obs::RenderText(obs::TakeSnapshot()).c_str());
   return disagreements == 0 ? 0 : 1;
 }
 
@@ -179,6 +202,7 @@ int Run(const Args& args) {
 }  // namespace ird::oracle
 
 int main(int argc, char** argv) {
+  ird::obs::InitFromEnv();
   ird::oracle::Args args;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -205,5 +229,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  return ird::oracle::Run(args);
+  int rc = ird::oracle::Run(args);
+  // IRD_TRACE_OUT/IRD_STATS_OUT exports; the campaign verdict wins the
+  // exit code.
+  (void)ird::obs::ExportFromEnv("fuzz_driver");
+  return rc;
 }

@@ -23,25 +23,29 @@
 #include "diagnostics/render.h"
 #include "diagnostics/verify.h"
 #include "io/text_format.h"
+#include "obs/export.h"
 
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
                "usage: ird_lint [--json] [--verify] [--no-instances] "
-               "FILE...\n"
+               "[--stats] FILE...\n"
                "  --json          machine-readable output, one JSON object "
                "per file\n"
                "  --verify        re-check every witness with the "
                "independent verifier\n"
                "  --no-instances  skip adversarial instance construction "
-               "for split keys\n");
+               "for split keys\n"
+               "  --stats         print the engine counter/span summary to "
+               "stderr at the end\n");
   return 2;
 }
 
 struct Options {
   bool json = false;
   bool verify = false;
+  bool stats = false;
   ird::diagnostics::LintOptions lint;
   std::vector<std::string> files;
 };
@@ -109,6 +113,8 @@ int main(int argc, char** argv) {
       opts.verify = true;
     } else if (std::strcmp(argv[i], "--no-instances") == 0) {
       opts.lint.build_instance_witnesses = false;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      opts.stats = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -123,6 +129,10 @@ int main(int argc, char** argv) {
   int rc = 0;
   for (const std::string& file : opts.files) {
     if (LintFile(opts, file) != 0) rc = 1;
+  }
+  if (opts.stats) {
+    std::fprintf(stderr, "=== engine instrumentation summary ===\n%s",
+                 ird::obs::RenderText(ird::obs::TakeSnapshot()).c_str());
   }
   return rc;
 }

@@ -1,0 +1,337 @@
+// ird_stats: runs the standard engine workloads under full instrumentation
+// and emits one machine-readable record per workload — the bench
+// trajectory's data points (BENCH_PR3.json and successors). Each record is
+//
+//   {"bench": <name>, "config": {...}, "counters": {...}, "spans_us": {...}}
+//
+// where counters/spans_us are the workload's *delta* over the obs
+// registries (obs/export.h). The full run doubles as a liveness gate for
+// the instrumentation itself: --check fails if any counter a healthy
+// engine must bump (chase.steps, closure.iterations, kep.rounds,
+// recognition.independence_tests, ...) stayed zero — catching silently
+// dead instrumentation in CI.
+//
+//   ird_stats [--out FILE] [--trace FILE] [--anchors DIR] [--scale N]
+//             [--check] [--list]
+//
+//   --out FILE     write the JSON array there (default: stdout)
+//   --trace FILE   record span events and write a chrome://tracing JSON
+//   --anchors DIR  also classify every .scheme file under DIR (corpus
+//                  anchors; exercises the io + diagnostics-facing paths)
+//   --scale N      multiply per-workload repetition counts (default 1)
+//   --check        exit 1 if a required counter is zero over the whole run
+//   --list         print workload names and exit
+//
+// Exit status: 0 = ok, 1 = dead counter (--check) or write failure,
+// 2 = usage error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/recognition.h"
+#include "core/split.h"
+#include "io/text_format.h"
+#include "obs/export.h"
+#include "relation/weak_instance.h"
+#include "tableau/chase.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+struct Args {
+  std::string out;
+  std::string trace;
+  std::string anchors;
+  size_t scale = 1;
+  bool check = false;
+  bool list = false;
+};
+
+struct WorkloadRecord {
+  std::string bench;
+  std::string config_json;
+  obs::Snapshot delta;
+};
+
+// One instrumented workload: runs `body` between two registry snapshots.
+template <typename Body>
+WorkloadRecord RunWorkload(const std::string& name, std::string config_json,
+                           Body body) {
+  obs::Snapshot before = obs::TakeSnapshot();
+  body();
+  WorkloadRecord record;
+  record.bench = name;
+  record.config_json = std::move(config_json);
+  record.delta = obs::DeltaSince(before);
+  std::fprintf(stderr, "ran %-24s (%zu counters, %zu spans)\n", name.c_str(),
+               record.delta.counters.size(), record.delta.spans.size());
+  return record;
+}
+
+std::string ConfigJson(
+    const std::vector<std::pair<std::string, size_t>>& entries) {
+  std::string out = "{";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + entries[i].first + "\":" + std::to_string(entries[i].second);
+  }
+  return out + "}";
+}
+
+// The standard workloads. Shapes mirror EXPERIMENTS.md E1/E4/E2 so the
+// trajectory's counters line up with the bench binaries' timings.
+std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale) {
+  std::vector<WorkloadRecord> records;
+
+  {
+    const size_t blocks = 8, per_block = 3, reps = 25 * scale;
+    DatabaseScheme scheme = MakeBlockScheme(blocks, per_block);
+    records.push_back(RunWorkload(
+        "recognition_block",
+        ConfigJson({{"blocks", blocks},
+                    {"per_block", per_block},
+                    {"relations", scheme.size()},
+                    {"reps", reps}}),
+        [&] {
+          for (size_t i = 0; i < reps; ++i) {
+            RecognitionResult r = RecognizeIndependenceReducible(scheme);
+            IRD_CHECK(r.accepted);
+          }
+        }));
+  }
+
+  {
+    const size_t relations = 32, reps = 25 * scale;
+    DatabaseScheme scheme = MakeIndependentScheme(relations);
+    records.push_back(RunWorkload(
+        "recognition_independent",
+        ConfigJson({{"relations", scheme.size()}, {"reps", reps}}),
+        [&] {
+          for (size_t i = 0; i < reps; ++i) {
+            RecognitionResult r = RecognizeIndependenceReducible(scheme);
+            IRD_CHECK(r.accepted);
+          }
+        }));
+  }
+
+  {
+    const size_t relations = 8, pool = 16, reps = 5 * scale;
+    std::vector<DatabaseScheme> schemes;
+    for (uint64_t seed = 0; seed < pool; ++seed) {
+      RandomSchemeOptions opt;
+      opt.universe_size = relations + 2;
+      opt.relations = relations;
+      opt.min_arity = 2;
+      opt.max_arity = 4;
+      opt.seed = seed;
+      schemes.push_back(MakeRandomScheme(opt));
+    }
+    records.push_back(RunWorkload(
+        "recognition_random",
+        ConfigJson({{"relations", relations}, {"pool", pool}, {"reps", reps}}),
+        [&] {
+          for (size_t i = 0; i < reps; ++i) {
+            for (const DatabaseScheme& scheme : schemes) {
+              RecognizeIndependenceReducible(scheme);
+            }
+          }
+        }));
+  }
+
+  {
+    const size_t chain = 12, split_k = 3, reps = 10 * scale;
+    DatabaseScheme chain_scheme = MakeChainScheme(chain);
+    DatabaseScheme split_scheme = MakeSplitScheme(split_k);
+    records.push_back(RunWorkload(
+        "split_analysis",
+        ConfigJson({{"chain_n", chain}, {"split_k", split_k}, {"reps", reps}}),
+        [&] {
+          for (size_t i = 0; i < reps; ++i) {
+            IRD_CHECK(SplitKeys(chain_scheme).empty());
+            IRD_CHECK(!SplitKeys(split_scheme).empty());
+          }
+        }));
+  }
+
+  {
+    const size_t entities = 200, reps = 3 * scale, lossless_reps = 10 * scale;
+    DatabaseScheme scheme = MakeSplitScheme(2);
+    StateGenOptions opt;
+    opt.entities = entities;
+    opt.seed = 7;
+    DatabaseState state = MakeConsistentState(scheme, opt);
+    DatabaseScheme block_scheme = MakeBlockScheme(4, 3);
+    records.push_back(RunWorkload(
+        "chase_consistency",
+        ConfigJson({{"entities", entities},
+                    {"reps", reps},
+                    {"lossless_reps", lossless_reps}}),
+        [&] {
+          for (size_t i = 0; i < reps; ++i) {
+            IRD_CHECK(IsConsistent(state));
+          }
+          for (size_t i = 0; i < lossless_reps; ++i) {
+            IRD_CHECK(IsLosslessByChase(block_scheme));
+          }
+        }));
+  }
+
+  return records;
+}
+
+// Classifies every .scheme file under `dir` (the corpus anchors): the same
+// engines ird_lint leans on, driven through parsed input instead of
+// generators.
+WorkloadRecord RunAnchorWorkload(const std::string& dir, int* rc) {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".scheme") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "ird_stats: cannot read %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    *rc = 1;
+  }
+  std::sort(files.begin(), files.end());
+  return RunWorkload(
+      "classify_anchors", ConfigJson({{"files", files.size()}}), [&] {
+        for (const std::filesystem::path& path : files) {
+          std::ifstream in(path);
+          std::stringstream buffer;
+          buffer << in.rdbuf();
+          Result<ParsedDatabase> parsed = ParseDatabaseText(buffer.str());
+          if (!parsed.ok()) {
+            std::fprintf(stderr, "ird_stats: %s: %s\n", path.c_str(),
+                         parsed.status().ToString().c_str());
+            *rc = 1;
+            continue;
+          }
+          ClassifyScheme(parsed->scheme);
+        }
+      });
+}
+
+std::string RenderRecords(const std::vector<WorkloadRecord>& records) {
+  std::string out = "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ",";
+    std::string body = obs::RenderJson(records[i].delta);
+    out += "\n{\"bench\":\"" + records[i].bench + "\",\"config\":" +
+           records[i].config_json + "," + body.substr(1);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+// Counters a healthy full run must bump; a zero means the instrumentation
+// site is dead (or the workload stopped reaching the engine).
+constexpr const char* kRequiredCounters[] = {
+    "chase.steps",          "chase.invocations",
+    "closure.computations", "closure.iterations",
+    "kep.rounds",           "split.cover_checks",
+    "recognition.independence_tests", "tableau.rows_materialized",
+};
+
+int Run(const Args& args) {
+  if (args.list) {
+    std::printf(
+        "recognition_block\nrecognition_independent\nrecognition_random\n"
+        "split_analysis\nchase_consistency\nclassify_anchors (--anchors)\n");
+    return 0;
+  }
+  if (!args.trace.empty()) obs::Trace::SetEnabled(true);
+  obs::ResetAll();
+
+  int rc = 0;
+  std::vector<WorkloadRecord> records = RunStandardWorkloads(args.scale);
+  if (!args.anchors.empty()) {
+    records.push_back(RunAnchorWorkload(args.anchors, &rc));
+  }
+
+  std::string rendered = RenderRecords(records);
+  if (args.out.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    Status written = obs::WriteStringToFile(args.out, rendered);
+    if (!written.ok()) {
+      std::fprintf(stderr, "ird_stats: %s\n", written.ToString().c_str());
+      rc = 1;
+    }
+  }
+  if (!args.trace.empty()) {
+    Status written =
+        obs::WriteStringToFile(args.trace, obs::RenderChromeTrace());
+    if (!written.ok()) {
+      std::fprintf(stderr, "ird_stats: %s\n", written.ToString().c_str());
+      rc = 1;
+    }
+  }
+
+#ifdef IRD_OBS_DISABLED
+  if (args.check) {
+    std::fprintf(stderr,
+                 "ird_stats: --check skipped (built with IRD_OBS=OFF)\n");
+  }
+#else
+  if (args.check) {
+    for (const char* name : kRequiredCounters) {
+      if (obs::CounterValue(name) == 0) {
+        std::fprintf(stderr, "ird_stats: required counter %s is ZERO\n",
+                     name);
+        rc = 1;
+      }
+    }
+    if (rc == 0) {
+      std::fprintf(stderr, "ird_stats: all %zu required counters nonzero\n",
+                   std::size(kRequiredCounters));
+    }
+  }
+#endif
+  return rc;
+}
+
+}  // namespace
+}  // namespace ird
+
+int main(int argc, char** argv) {
+  ird::Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--out") == 0) {
+      args.out = next("--out");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      args.trace = next("--trace");
+    } else if (std::strcmp(argv[i], "--anchors") == 0) {
+      args.anchors = next("--anchors");
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      args.scale = std::strtoull(next("--scale"), nullptr, 10);
+      if (args.scale == 0) args.scale = 1;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      args.check = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      args.list = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: ird_stats [--out FILE] [--trace FILE] "
+                   "[--anchors DIR] [--scale N] [--check] [--list]\n");
+      return 2;
+    }
+  }
+  return ird::Run(args);
+}

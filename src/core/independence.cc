@@ -1,6 +1,7 @@
 #include "core/independence.h"
 
 #include "fd/closure_engine.h"
+#include "obs/obs.h"
 
 namespace ird {
 
@@ -14,12 +15,16 @@ std::string UniquenessViolation::ToString(
 
 std::optional<UniquenessViolation> FindUniquenessViolation(
     const DatabaseScheme& scheme) {
+  IRD_SPAN("independence");
   for (size_t j = 0; j < scheme.size(); ++j) {
     // One indexed engine per F - Fj, amortized over all i.
     ClosureEngine without_j(scheme.KeyDependenciesExcept(j));
     const RelationScheme& rj = scheme.relation(j);
     for (size_t i = 0; i < scheme.size(); ++i) {
       if (i == j) continue;
+      // One uniqueness probe per ordered (i, j) pair: at most n(n-1) per
+      // scheme, fewer on early violation.
+      IRD_COUNT(recognition.independence_tests);
       AttributeSet closure = without_j.Closure(scheme.relation(i).attrs);
       // Does the closure embed some key dependency K -> A of Rj? That is:
       // K ⊆ closure and some A ∈ Rj - K also in the closure.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "fd/closure_engine.h"
+#include "obs/obs.h"
 
 namespace ird {
 
@@ -17,6 +18,9 @@ void KepRecurse(const DatabaseScheme& scheme, const std::vector<size_t>& pool,
   // Statement (2): part := { [Ri] }, where [Ri] groups schemes with equal
   // closure wrt the pool's key dependencies.
   IRD_DCHECK(!pool.empty());
+  // One KEP round = one recursion on a pool; the recursion tree has at
+  // most 2n-1 nodes (leaves are disjoint blocks, internals split >= 2 ways).
+  IRD_COUNT(kep.rounds);
   ClosureEngine fds(scheme.KeyDependenciesOf(pool));
   std::map<AttributeSet, std::vector<size_t>> groups;
   for (size_t i : pool) {
@@ -49,6 +53,7 @@ void KepRecurse(const DatabaseScheme& scheme, const std::vector<size_t>& pool,
 
 std::vector<std::vector<size_t>> KeyEquivalentPartition(
     const DatabaseScheme& scheme) {
+  IRD_SPAN("kep");
   std::vector<size_t> pool(scheme.size());
   std::iota(pool.begin(), pool.end(), 0);
   std::vector<std::vector<size_t>> out;

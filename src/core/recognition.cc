@@ -1,5 +1,7 @@
 #include "core/recognition.h"
 
+#include "obs/obs.h"
+
 namespace ird {
 
 DatabaseScheme InducedScheme(
@@ -30,6 +32,8 @@ DatabaseScheme InducedScheme(
 
 RecognitionResult RecognizeIndependenceReducible(
     const DatabaseScheme& scheme) {
+  IRD_SPAN("recognition");
+  IRD_COUNT(recognition.runs);
   RecognitionResult result;
   // Step (1): the key-equivalent partition via KEP.
   result.partition = KeyEquivalentPartition(scheme);

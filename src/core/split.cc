@@ -4,6 +4,8 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "obs/obs.h"
+
 namespace ird {
 
 namespace {
@@ -32,6 +34,7 @@ bool IsKeySplit(const DatabaseScheme& scheme, const AttributeSet& key,
   // Lemma 3.8 via BMSU: the row for Wi in CHASE_G(T_W) is all-dv on K iff
   // K ⊆ Closure_G(Wi).
   for (size_t i : w) {
+    IRD_COUNT(split.cover_checks);
     if (key.IsSubsetOf(g.Closure(scheme.relation(i).attrs))) return true;
   }
   return false;
@@ -50,6 +53,7 @@ bool IsKeySplitInClosureOf(const DatabaseScheme& scheme,
   queue.push_back(scheme.relation(start).attrs);
   visited.insert(queue.back());
   while (!queue.empty()) {
+    IRD_COUNT(split.bfs_states);
     AttributeSet closure = std::move(queue.front());
     queue.pop_front();
     for (size_t j : p) {
@@ -87,6 +91,7 @@ bool IsKeySplitByDefinition(const DatabaseScheme& scheme,
 
 std::vector<AttributeSet> SplitKeys(const DatabaseScheme& scheme,
                                     const std::vector<size_t>& pool) {
+  IRD_SPAN("split");
   std::vector<size_t> p = PoolOrAll(scheme, pool);
   std::vector<AttributeSet> distinct;
   for (size_t i : p) {

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "obs/obs.h"
+
 namespace ird {
 
 ClosureEngine::ClosureEngine(const FdSet& fds) {
@@ -18,6 +20,14 @@ ClosureEngine::ClosureEngine(const FdSet& fds) {
 }
 
 AttributeSet ClosureEngine::Closure(const AttributeSet& x) const {
+  // closure.iterations counts FD firings here (each FD fires at most once,
+  // so iterations <= |F| per computation; the naive FdSet::Closure counts
+  // scan passes, bounded by |F|+1 — obs_invariants_test asserts both).
+  // Firings are tallied locally and flushed once on return: this function
+  // is the engine's innermost hot loop and a per-firing atomic costs
+  // measurable time even relaxed.
+  IRD_COUNT(closure.computations);
+  uint64_t fired = 0;
   missing_.assign(fds_.size(), 0);
   for (size_t i = 0; i < fds_.size(); ++i) {
     missing_[i] = fds_[i].lhs_size;
@@ -28,6 +38,7 @@ AttributeSet ClosureEngine::Closure(const AttributeSet& x) const {
   // FDs with empty left sides fire immediately.
   for (size_t i = 0; i < fds_.size(); ++i) {
     if (missing_[i] == 0) {
+      ++fired;
       fds_[i].rhs.ForEach([&](AttributeId a) {
         if (!closure.Contains(a)) {
           closure.Add(a);
@@ -43,6 +54,7 @@ AttributeSet ClosureEngine::Closure(const AttributeSet& x) const {
     for (uint32_t id : by_attr_[a]) {
       if (missing_[id] == 0) continue;
       if (--missing_[id] == 0) {
+        ++fired;
         fds_[id].rhs.ForEach([&](AttributeId b) {
           if (!closure.Contains(b)) {
             closure.Add(b);
@@ -52,6 +64,7 @@ AttributeSet ClosureEngine::Closure(const AttributeSet& x) const {
       }
     }
   }
+  IRD_COUNT_ADD(closure.iterations, fired);
   return closure;
 }
 

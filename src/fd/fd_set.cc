@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace ird {
 
 void FdSet::AddAll(const FdSet& other) {
@@ -9,6 +11,7 @@ void FdSet::AddAll(const FdSet& other) {
 }
 
 AttributeSet FdSet::Closure(const AttributeSet& x) const {
+  IRD_COUNT(closure.computations);
   AttributeSet closure = x;
   // Fixpoint: keep applying FDs whose left side is already covered. A used[]
   // mask keeps each FD from firing more than once (once applied, reapplying
@@ -17,6 +20,9 @@ AttributeSet FdSet::Closure(const AttributeSet& x) const {
   bool changed = true;
   while (changed) {
     changed = false;
+    // One scan pass; every productive pass fires at least one FD, so the
+    // pass count is at most |F|+1 per computation.
+    IRD_COUNT(closure.iterations);
     for (size_t i = 0; i < fds_.size(); ++i) {
       if (used[i]) continue;
       if (fds_[i].lhs.IsSubsetOf(closure)) {

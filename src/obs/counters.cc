@@ -1,0 +1,59 @@
+#include "obs/counters.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace ird::obs {
+
+namespace {
+
+struct RegistryState {
+  std::mutex mu;
+  // unique_ptr keeps Counter addresses stable across rehashes; the vector
+  // preserves registration order (Snapshot re-sorts by name).
+  std::vector<std::unique_ptr<Counter>> counters;
+};
+
+RegistryState& State() {
+  // Leaked singleton: instrumentation sites may fire during static
+  // destruction of other objects.
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+}  // namespace
+
+Counter& CounterRegistry::Get(std::string_view name) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const std::unique_ptr<Counter>& c : state.counters) {
+    if (c->name() == name) return *c;
+  }
+  state.counters.push_back(std::make_unique<Counter>(std::string(name)));
+  return *state.counters.back();
+}
+
+std::vector<std::pair<std::string, uint64_t>> CounterRegistry::Snapshot() {
+  RegistryState& state = State();
+  std::vector<std::pair<std::string, uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    out.reserve(state.counters.size());
+    for (const std::unique_ptr<Counter>& c : state.counters) {
+      out.emplace_back(c->name(), c->value());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void CounterRegistry::ResetAll() {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const std::unique_ptr<Counter>& c : state.counters) {
+    c->Reset();
+  }
+}
+
+}  // namespace ird::obs

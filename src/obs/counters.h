@@ -1,0 +1,63 @@
+// Named monotonic counters (paper-engine step accounting). A counter is a
+// relaxed atomic registered once per name; the IRD_COUNT macro (obs/obs.h)
+// binds each instrumentation site to its counter through a function-local
+// static, so the steady-state cost of a hit is one guard load plus one
+// relaxed fetch_add. Counters are process-global and never deallocated:
+// snapshots may be taken from any thread at any time.
+//
+// The counter/span catalogue lives in docs/OBSERVABILITY.md; new names
+// belong there.
+
+#ifndef IRD_OBS_COUNTERS_H_
+#define IRD_OBS_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ird::obs {
+
+// One named monotonic counter. alignas keeps two counters registered
+// back-to-back off the same cache line (independent sites must not false
+// share).
+class alignas(64) Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+// The process-global registry. Get() interns `name` on first use (mutex)
+// and returns a stable reference; subsequent lookups from the same macro
+// site never touch the registry again.
+class CounterRegistry {
+ public:
+  static Counter& Get(std::string_view name);
+
+  // All registered counters, sorted by name. Values are read relaxed; a
+  // snapshot concurrent with increments sees each counter at some point in
+  // its monotone history.
+  static std::vector<std::pair<std::string, uint64_t>> Snapshot();
+
+  // Zeroes every registered counter (per-workload deltas in ird_stats, per
+  // campaign in fuzz_driver). Counters stay registered.
+  static void ResetAll();
+};
+
+}  // namespace ird::obs
+
+#endif  // IRD_OBS_COUNTERS_H_

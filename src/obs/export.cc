@@ -1,0 +1,196 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+namespace ird::obs {
+
+namespace {
+
+// 1 decimal place of microseconds is plenty for phase-level spans.
+std::string FormatUs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%01" PRIu64, ns / 1000,
+                (ns % 1000) / 100);
+  return buf;
+}
+
+}  // namespace
+
+Snapshot TakeSnapshot() {
+  return Snapshot{CounterRegistry::Snapshot(), SpanRegistry::Snapshot()};
+}
+
+Snapshot Delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  std::map<std::string, uint64_t> counter_base(before.counters.begin(),
+                                               before.counters.end());
+  for (const auto& [name, value] : after.counters) {
+    auto it = counter_base.find(name);
+    uint64_t base = it == counter_base.end() ? 0 : it->second;
+    if (value > base) out.counters.emplace_back(name, value - base);
+  }
+  std::map<std::string, SpanRegistry::Stat> span_base;
+  for (const SpanRegistry::Stat& s : before.spans) span_base[s.name] = s;
+  for (const SpanRegistry::Stat& s : after.spans) {
+    auto it = span_base.find(s.name);
+    uint64_t count = s.count, total = s.total_ns;
+    if (it != span_base.end()) {
+      count -= std::min(count, it->second.count);
+      total -= std::min(total, it->second.total_ns);
+    }
+    if (count > 0 || total > 0) {
+      out.spans.push_back(SpanRegistry::Stat{s.name, count, total});
+    }
+  }
+  return out;
+}
+
+Snapshot DeltaSince(const Snapshot& before) {
+  return Delta(before, TakeSnapshot());
+}
+
+uint64_t CounterValue(std::string_view name) {
+  for (const auto& [n, value] : CounterRegistry::Snapshot()) {
+    if (n == name) return value;
+  }
+  return 0;
+}
+
+void ResetAll() {
+  CounterRegistry::ResetAll();
+  SpanRegistry::ResetAll();
+  Trace::Clear();
+}
+
+std::string RenderText(const Snapshot& snapshot) {
+  size_t width = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    width = std::max(width, name.size());
+  }
+  for (const SpanRegistry::Stat& s : snapshot.spans) {
+    width = std::max(width, s.name.size());
+  }
+  std::string out;
+  if (!snapshot.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %-*s %" PRIu64 "\n",
+                    static_cast<int>(width), name.c_str(), value);
+      out += line;
+    }
+  }
+  if (!snapshot.spans.empty()) {
+    out += "spans:\n";
+    for (const SpanRegistry::Stat& s : snapshot.spans) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-*s %" PRIu64 " x, %s us total\n",
+                    static_cast<int>(width), s.name.c_str(), s.count,
+                    FormatUs(s.total_ns).c_str());
+      out += line;
+    }
+  }
+  if (out.empty()) out = "(no instrumentation data)\n";
+  return out;
+}
+
+std::string RenderJson(const Snapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    char entry[160];
+    std::snprintf(entry, sizeof(entry), "\"%s\":%" PRIu64,
+                  snapshot.counters[i].first.c_str(),
+                  snapshot.counters[i].second);
+    out += entry;
+  }
+  out += "},\"spans_us\":{";
+  for (size_t i = 0; i < snapshot.spans.size(); ++i) {
+    if (i > 0) out += ",";
+    const SpanRegistry::Stat& s = snapshot.spans[i];
+    char entry[200];
+    std::snprintf(entry, sizeof(entry),
+                  "\"%s\":{\"count\":%" PRIu64 ",\"total_us\":%" PRIu64 "}",
+                  s.name.c_str(), s.count, s.total_ns / 1000);
+    out += entry;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RenderChromeTrace() {
+  std::vector<ThreadTrace> threads = Trace::Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const ThreadTrace& thread : threads) {
+    for (const TraceEvent& e : thread.events) {
+      if (!first) out += ",";
+      first = false;
+      char entry[256];
+      // ts/dur are fractional microseconds; chrome takes doubles. Three
+      // decimals keeps full nanosecond resolution.
+      std::snprintf(entry, sizeof(entry),
+                    "\n{\"name\":\"%s\",\"cat\":\"ird\",\"ph\":\"X\","
+                    "\"ts\":%" PRId64 ".%03" PRId64 ",\"dur\":%" PRId64
+                    ".%03" PRId64 ",\"pid\":1,\"tid\":%u}",
+                    e.site->name().c_str(), e.start_ns / 1000,
+                    e.start_ns % 1000, e.dur_ns / 1000, e.dur_ns % 1000,
+                    thread.tid);
+      out += entry;
+    }
+  }
+  out += "\n]}";
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return InvalidArgument("cannot open " + path + " for writing");
+  out << contents;
+  out.flush();
+  if (!out) return InvalidArgument("short write to " + path);
+  return OkStatus();
+}
+
+void InitFromEnv() {
+  if (std::getenv("IRD_TRACE_OUT") != nullptr) {
+    Trace::SetEnabled(true);
+  }
+}
+
+int ExportFromEnv(const std::string& tool) {
+  int rc = 0;
+  if (const char* path = std::getenv("IRD_TRACE_OUT")) {
+    Status written = WriteStringToFile(path, RenderChromeTrace());
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s: trace export failed: %s\n", tool.c_str(),
+                   written.ToString().c_str());
+      rc = 1;
+    }
+  }
+  if (const char* path = std::getenv("IRD_STATS_OUT")) {
+    std::string json = RenderJson(TakeSnapshot());
+    std::string body = "{\"bench\":\"" + tool + "\"," + json.substr(1);
+    Status written = WriteStringToFile(path, body + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s: stats export failed: %s\n", tool.c_str(),
+                   written.ToString().c_str());
+      rc = 1;
+    }
+  }
+  if (const char* flag = std::getenv("IRD_STATS");
+      flag != nullptr && flag[0] != '\0' && flag[0] != '0') {
+    std::fprintf(stderr, "=== %s instrumentation summary ===\n%s",
+                 tool.c_str(), RenderText(TakeSnapshot()).c_str());
+  }
+  return rc;
+}
+
+}  // namespace ird::obs

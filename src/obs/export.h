@@ -1,0 +1,72 @@
+// Sinks for the instrumentation registries (obs/obs.h): flat snapshots of
+// counters and span aggregates, rendered as text or JSON, and a
+// chrome://tracing export of the recorded span events. Formats are
+// documented in docs/OBSERVABILITY.md.
+
+#ifndef IRD_OBS_EXPORT_H_
+#define IRD_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/counters.h"
+#include "obs/span.h"
+
+namespace ird::obs {
+
+// A flat, name-sorted snapshot of every counter and span aggregate.
+struct Snapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<SpanRegistry::Stat> spans;
+};
+
+Snapshot TakeSnapshot();
+
+// after - before, entry-wise; names present only in `after` keep their
+// value (counters are never unregistered, so that is the fresh-name case).
+// Entries that are zero in the delta are dropped.
+Snapshot DeltaSince(const Snapshot& before);
+Snapshot Delta(const Snapshot& before, const Snapshot& after);
+
+// The value of one counter right now (0 if the name was never hit).
+uint64_t CounterValue(std::string_view name);
+
+// Zeroes counters and span aggregates and drops recorded trace events.
+void ResetAll();
+
+// Deterministic renderings of a snapshot: same snapshot, same bytes.
+//
+// Text: an aligned two-column table, counters then spans (spans show count
+// and total microseconds).
+std::string RenderText(const Snapshot& snapshot);
+// JSON: {"counters":{name:value,...},"spans_us":{name:{"count":c,
+// "total_us":t},...}} with keys in sorted order. total_us is integer
+// microseconds (rounded down).
+std::string RenderJson(const Snapshot& snapshot);
+
+// The recorded trace as chrome://tracing "Trace Event Format" JSON
+// (complete "X" events; ts/dur in fractional microseconds). Load via
+// chrome://tracing or https://ui.perfetto.dev.
+std::string RenderChromeTrace();
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents);
+
+// Env-driven export hooks for CLI/bench binaries:
+//   IRD_TRACE_OUT=<path>  enable event recording (InitFromEnv) and write
+//                         the chrome trace there on exit (ExportFromEnv)
+//   IRD_STATS_OUT=<path>  write {"bench":<tool>,"counters":...,
+//                         "spans_us":...} JSON
+//   IRD_STATS=1           print the text summary to stderr
+// InitFromEnv belongs at the top of main (recording must be on before the
+// workload); ExportFromEnv at the bottom. Returns 0, or 1 if a write
+// failed.
+void InitFromEnv();
+int ExportFromEnv(const std::string& tool);
+
+}  // namespace ird::obs
+
+#endif  // IRD_OBS_EXPORT_H_

@@ -1,0 +1,58 @@
+// Engine instrumentation entry points. Usage:
+//
+//   IRD_COUNT(chase.steps);              // +1 on the named counter
+//   IRD_COUNT_ADD(tableau.rows, n);      // +n
+//   IRD_SPAN("kep");                     // RAII span over the current scope
+//
+// Counter names are bare dotted identifiers (stringized by the macro); span
+// names are string literals. Each site binds to its registry entry through
+// a function-local static, so a hit costs one guard load plus relaxed
+// atomics — cheap enough for the chase/closure inner loops (measured
+// overhead on bench_recognition is quoted in docs/OBSERVABILITY.md).
+//
+// Building with -DIRD_OBS=OFF defines IRD_OBS_DISABLED on everything that
+// links ird_obs; the macros below then expand to ((void)0) — no statics, no
+// atomics, no clock reads — while the registry/export API keeps compiling
+// (it just reports nothing), so instrumented targets still link.
+
+#ifndef IRD_OBS_OBS_H_
+#define IRD_OBS_OBS_H_
+
+#include "obs/counters.h"
+#include "obs/span.h"
+
+#ifdef IRD_OBS_DISABLED
+
+#define IRD_COUNT(name) ((void)0)
+// Evaluates (cheap, side-effect-free at every call site) and discards the
+// delta so locally accumulated tallies don't become unused-variable errors
+// under -Werror in OFF builds.
+#define IRD_COUNT_ADD(name, delta) ((void)(delta))
+#define IRD_SPAN(name) ((void)0)
+
+#else  // instrumentation enabled
+
+#define IRD_OBS_CONCAT2(a, b) a##b
+#define IRD_OBS_CONCAT(a, b) IRD_OBS_CONCAT2(a, b)
+
+#define IRD_COUNT(name) IRD_COUNT_ADD(name, 1)
+
+#define IRD_COUNT_ADD(name, delta)                            \
+  do {                                                        \
+    static ::ird::obs::Counter& ird_obs_counter =             \
+        ::ird::obs::CounterRegistry::Get(#name);              \
+    ird_obs_counter.Add(static_cast<uint64_t>(delta));        \
+  } while (false)
+
+// The id parameter pins one __COUNTER__ value across all three uses.
+#define IRD_SPAN_IMPL(name, id)                                     \
+  static ::ird::obs::SpanSite& IRD_OBS_CONCAT(ird_obs_site_, id) =  \
+      ::ird::obs::SpanRegistry::Get(name);                          \
+  const ::ird::obs::ScopedSpan IRD_OBS_CONCAT(ird_obs_span_, id)(   \
+      IRD_OBS_CONCAT(ird_obs_site_, id))
+
+#define IRD_SPAN(name) IRD_SPAN_IMPL(name, __COUNTER__)
+
+#endif  // IRD_OBS_DISABLED
+
+#endif  // IRD_OBS_OBS_H_

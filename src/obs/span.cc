@@ -1,0 +1,163 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace ird::obs {
+
+namespace {
+
+struct SpanRegistryState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<SpanSite>> sites;
+};
+
+SpanRegistryState& Sites() {
+  static SpanRegistryState* state = new SpanRegistryState();
+  return *state;
+}
+
+// Per-thread event buffer. `mu` serializes the owning thread's appends
+// against Snapshot/Clear from other threads; appends lock only this mutex
+// (uncontended in steady state), never the global one.
+struct ThreadBuffer {
+  std::mutex mu;
+  uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+};
+
+struct TraceState {
+  std::mutex mu;  // guards live/retired/next_tid; acquired before buffer mu
+  uint32_t next_tid = 1;
+  std::atomic<size_t> capacity_per_thread{1 << 20};
+  std::vector<ThreadBuffer*> live;
+  std::vector<ThreadTrace> retired;
+};
+
+TraceState& GlobalTrace() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+// Owns the thread's buffer; the destructor moves its contents into
+// `retired` and unregisters the raw pointer from `live`.
+struct ThreadBufferOwner {
+  ThreadBuffer buffer;
+  bool registered = false;
+
+  ~ThreadBufferOwner() {
+    if (!registered) return;
+    TraceState& state = GlobalTrace();
+    std::lock_guard<std::mutex> global_lock(state.mu);
+    std::lock_guard<std::mutex> buffer_lock(buffer.mu);
+    state.retired.push_back(ThreadTrace{buffer.tid, std::move(buffer.events),
+                                        buffer.dropped});
+    state.live.erase(
+        std::remove(state.live.begin(), state.live.end(), &buffer),
+        state.live.end());
+  }
+};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBufferOwner owner;
+  if (!owner.registered) {
+    TraceState& state = GlobalTrace();
+    std::lock_guard<std::mutex> lock(state.mu);
+    owner.buffer.tid = state.next_tid++;
+    state.live.push_back(&owner.buffer);
+    owner.registered = true;
+  }
+  return owner.buffer;
+}
+
+}  // namespace
+
+SpanSite& SpanRegistry::Get(std::string_view name) {
+  SpanRegistryState& state = Sites();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const std::unique_ptr<SpanSite>& s : state.sites) {
+    if (s->name() == name) return *s;
+  }
+  state.sites.push_back(std::make_unique<SpanSite>(std::string(name)));
+  return *state.sites.back();
+}
+
+std::vector<SpanRegistry::Stat> SpanRegistry::Snapshot() {
+  SpanRegistryState& state = Sites();
+  std::vector<Stat> out;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    out.reserve(state.sites.size());
+    for (const std::unique_ptr<SpanSite>& s : state.sites) {
+      out.push_back(Stat{s->name(), s->count(), s->total_ns()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Stat& a, const Stat& b) { return a.name < b.name; });
+  return out;
+}
+
+void SpanRegistry::ResetAll() {
+  SpanRegistryState& state = Sites();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const std::unique_ptr<SpanSite>& s : state.sites) {
+    s->Reset();
+  }
+}
+
+std::atomic<bool> Trace::enabled_{false};
+
+void Trace::SetEnabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Trace::SetCapacityPerThread(size_t capacity) {
+  GlobalTrace().capacity_per_thread.store(capacity,
+                                          std::memory_order_relaxed);
+}
+
+void Trace::Record(const SpanSite& site, int64_t start_ns, int64_t dur_ns) {
+  ThreadBuffer& buffer = LocalBuffer();
+  size_t capacity =
+      GlobalTrace().capacity_per_thread.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= capacity) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(TraceEvent{&site, start_ns, dur_ns});
+}
+
+std::vector<ThreadTrace> Trace::Snapshot() {
+  TraceState& state = GlobalTrace();
+  std::lock_guard<std::mutex> global_lock(state.mu);
+  std::vector<ThreadTrace> out = state.retired;
+  for (ThreadBuffer* buffer : state.live) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    out.push_back(ThreadTrace{buffer->tid, buffer->events, buffer->dropped});
+  }
+  return out;
+}
+
+void Trace::Clear() {
+  TraceState& state = GlobalTrace();
+  std::lock_guard<std::mutex> global_lock(state.mu);
+  state.retired.clear();
+  for (ThreadBuffer* buffer : state.live) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+int64_t Trace::NowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+}  // namespace ird::obs

@@ -1,0 +1,124 @@
+// RAII spans: wall-clock intervals around engine phases ("kep",
+// "recognition", "chase", ...). Every span unconditionally feeds a per-site
+// aggregate (hit count + total nanoseconds, relaxed atomics — the flat
+// per-phase summary), and, when trace recording is enabled, also appends a
+// timestamped event to a per-thread buffer for chrome://tracing export
+// (obs/export.h). Recording is off by default so steady-state span cost is
+// two clock reads and two relaxed adds.
+//
+// Spans unwind with scope exit (early return, nested scopes) like any
+// destructor; nesting is recovered from timestamps by the trace viewer.
+
+#ifndef IRD_OBS_SPAN_H_
+#define IRD_OBS_SPAN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ird::obs {
+
+// Aggregate for one IRD_SPAN site name. Stable address, like Counter.
+class alignas(64) SpanSite {
+ public:
+  explicit SpanSite(std::string name) : name_(std::move(name)) {}
+
+  SpanSite(const SpanSite&) = delete;
+  SpanSite& operator=(const SpanSite&) = delete;
+
+  void Record(uint64_t ns) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_ns_{0};
+};
+
+class SpanRegistry {
+ public:
+  static SpanSite& Get(std::string_view name);
+  struct Stat {
+    std::string name;
+    uint64_t count;
+    uint64_t total_ns;
+  };
+  // All registered sites, sorted by name.
+  static std::vector<Stat> Snapshot();
+  static void ResetAll();
+};
+
+// One finished span occurrence, for the chrome trace. Timestamps are
+// nanoseconds since the process-wide trace epoch (first clock use).
+struct TraceEvent {
+  const SpanSite* site;
+  int64_t start_ns;
+  int64_t dur_ns;
+};
+
+struct ThreadTrace {
+  uint32_t tid;
+  std::vector<TraceEvent> events;
+  uint64_t dropped;  // events past the per-thread capacity
+};
+
+// Event recording: per-thread append-only buffers behind a global enable
+// flag. Buffers are bounded (SetCapacityPerThread); once full a thread
+// counts drops instead of growing without bound in long campaigns.
+class Trace {
+ public:
+  static void SetEnabled(bool enabled);
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void SetCapacityPerThread(size_t capacity);
+
+  static void Record(const SpanSite& site, int64_t start_ns, int64_t dur_ns);
+
+  // Copies of every thread's events (live threads and exited ones).
+  static std::vector<ThreadTrace> Snapshot();
+  static void Clear();
+
+  // Nanoseconds since the trace epoch.
+  static int64_t NowNs();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+// The RAII guard IRD_SPAN expands to.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanSite& site)
+      : site_(site), start_ns_(Trace::NowNs()) {}
+  ~ScopedSpan() {
+    int64_t dur = Trace::NowNs() - start_ns_;
+    site_.Record(static_cast<uint64_t>(dur));
+    if (Trace::enabled()) Trace::Record(site_, start_ns_, dur);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanSite& site_;
+  int64_t start_ns_;
+};
+
+}  // namespace ird::obs
+
+#endif  // IRD_OBS_SPAN_H_

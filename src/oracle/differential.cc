@@ -22,6 +22,7 @@
 #include "oracle/naive_kep.h"
 #include "oracle/naive_recognition.h"
 #include "oracle/naive_split.h"
+#include "obs/obs.h"
 #include "relation/weak_instance.h"
 #include "workload/generators.h"
 
@@ -50,6 +51,7 @@ class Comparator {
       : scheme_(scheme), options_(options) {}
 
   std::vector<Disagreement> Run() {
+    IRD_SPAN("oracle.compare");
     CompareStructural();
     CompareStates();
     return std::move(found_);
@@ -61,6 +63,7 @@ class Comparator {
   }
 
   void Expect(bool agree, const std::string& routine, std::string detail) {
+    IRD_COUNT(oracle.comparisons);
     if (!agree) Report(routine, std::move(detail));
   }
 

@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace ird {
 
 namespace {
@@ -22,6 +24,8 @@ struct SymVecHash {
 }  // namespace
 
 ChaseStats ChaseFds(Tableau* t, const FdSet& fds) {
+  IRD_SPAN("chase");
+  IRD_COUNT(chase.invocations);
   ChaseStats stats;
   FdSet standard = fds.StandardForm();
   if (standard.empty() || t->row_count() == 0) return stats;
@@ -30,7 +34,12 @@ ChaseStats ChaseFds(Tableau* t, const FdSet& fds) {
   while (changed) {
     changed = false;
     ++stats.passes;
+    IRD_COUNT(chase.passes);
     for (const FunctionalDependency& fd : standard.fds()) {
+      // chase.steps = row-bucket probes, the chase's unit of work; hoisted
+      // out of the row loop (exact except for an inconsistency's early
+      // return, which charges the abandoned remainder of its pass).
+      IRD_COUNT_ADD(chase.steps, t->row_count());
       // StandardForm splits every FD into single-attribute right sides; the
       // bucket structure below is only sound under that shape.
       IRD_DCHECK(fd.rhs.Count() == 1);
@@ -57,6 +66,7 @@ ChaseStats ChaseFds(Tableau* t, const FdSet& fds) {
               return stats;
             }
             ++stats.rule_applications;
+            IRD_COUNT(chase.equates);
             changed = true;
             // A successful Equate must actually merge the classes.
             IRD_DCHECK(t->Canonical(existing) == t->Canonical(rhs_sym));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace ird {
 
 namespace {
@@ -41,6 +43,7 @@ SymId Tableau::FreshNdv() {
 
 size_t Tableau::AddRow(std::vector<SymId> cells) {
   IRD_CHECK(cells.size() == width_);
+  IRD_COUNT(tableau.rows_materialized);
   rows_.push_back(std::move(cells));
   return rows_.size() - 1;
 }

@@ -1,0 +1,157 @@
+// Counter-backed complexity invariants on the paper's worked examples:
+// the obs counters are not just monotone gauges, they carry executable
+// bounds from the paper's analysis. Each test runs an engine entry point
+// between two registry snapshots and checks the counter delta against the
+// bound. With IRD_OBS=OFF every delta is zero and the lower-bound
+// assertions are vacuous, so the whole file skips.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/kep.h"
+#include "core/recognition.h"
+#include "obs/export.h"
+#include "tableau/chase.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+struct NamedScheme {
+  const char* name;
+  DatabaseScheme scheme;
+};
+
+// Every worked-example fixture the suite defines (Examples 5, 7 and 10
+// reuse the schemes of 4 and 3; see tests/test_util.h).
+std::vector<NamedScheme> PaperExamples() {
+  std::vector<NamedScheme> out;
+  out.push_back({"Example1R", test::Example1R()});
+  out.push_back({"Example1S", test::Example1S()});
+  out.push_back({"Example2", test::Example2()});
+  out.push_back({"Example3", test::Example3()});
+  out.push_back({"Example4", test::Example4()});
+  out.push_back({"Example6", test::Example6()});
+  out.push_back({"Example8", test::Example8()});
+  out.push_back({"Example9", test::Example9()});
+  out.push_back({"Example11", test::Example11()});
+  out.push_back({"Example12", test::Example12()});
+  out.push_back({"Example13", test::Example13()});
+  return out;
+}
+
+uint64_t DeltaOf(const obs::Snapshot& delta, std::string_view name) {
+  for (const auto& [counter, value] : delta.counters) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+template <typename Body>
+obs::Snapshot Measure(Body body) {
+  obs::Snapshot before = obs::TakeSnapshot();
+  body();
+  return obs::DeltaSince(before);
+}
+
+#ifdef IRD_OBS_DISABLED
+#define IRD_REQUIRE_OBS() \
+  GTEST_SKIP() << "instrumentation compiled out (IRD_OBS=OFF)"
+#else
+#define IRD_REQUIRE_OBS() \
+  do {                    \
+  } while (false)
+#endif
+
+// Both closure engines bound their work per computation: the indexed
+// engine fires each FD at most once (<= |F| iterations), the naive engine
+// scans until a fixpoint (<= |F|+1 passes). Either way, over any run
+// touching only FD sets drawn from the scheme's key dependencies,
+//   delta(closure.iterations) <= (|F| + 1) * delta(closure.computations).
+TEST(ObsInvariantsTest, ClosureIterationsBoundedByFdCount) {
+  IRD_REQUIRE_OBS();
+  for (const NamedScheme& example : PaperExamples()) {
+    const uint64_t fd_count = example.scheme.key_dependencies().size();
+    obs::Snapshot delta = Measure(
+        [&] { (void)RecognizeIndependenceReducible(example.scheme); });
+    const uint64_t computations = DeltaOf(delta, "closure.computations");
+    const uint64_t iterations = DeltaOf(delta, "closure.iterations");
+    EXPECT_GT(computations, 0u) << example.name;
+    EXPECT_LE(iterations, (fd_count + 1) * computations) << example.name;
+  }
+}
+
+// KEP's recursion tree on n schemes has at most 2n-1 nodes (every split
+// produces at least two nonempty groups), and at least one: the root.
+TEST(ObsInvariantsTest, KepRoundsWithinRecursionTreeBound) {
+  IRD_REQUIRE_OBS();
+  for (const NamedScheme& example : PaperExamples()) {
+    const uint64_t n = example.scheme.size();
+    obs::Snapshot delta =
+        Measure([&] { (void)KeyEquivalentPartition(example.scheme); });
+    const uint64_t rounds = DeltaOf(delta, "kep.rounds");
+    EXPECT_GE(rounds, 1u) << example.name;
+    EXPECT_LE(rounds, 2 * n - 1) << example.name;
+  }
+}
+
+// The uniqueness test tries ordered pairs of distinct relations of the
+// induced scheme D, so at most |D|(|D|-1) <= n(n-1) independence tests per
+// recognition run.
+TEST(ObsInvariantsTest, IndependenceTestsQuadraticallyBounded) {
+  IRD_REQUIRE_OBS();
+  for (const NamedScheme& example : PaperExamples()) {
+    const uint64_t n = example.scheme.size();
+    obs::Snapshot delta = Measure(
+        [&] { (void)RecognizeIndependenceReducible(example.scheme); });
+    EXPECT_LE(DeltaOf(delta, "recognition.independence_tests"), n * (n - 1))
+        << example.name;
+  }
+}
+
+// chase.steps counts row probes, so one lossless-join chase costs at least
+// as much as every row it ever materializes (the fixpoint pass re-reads
+// the full tableau), and the cost grows monotonically with chain length.
+TEST(ObsInvariantsTest, ChaseStepsMonotoneInChainLength) {
+  IRD_REQUIRE_OBS();
+  uint64_t previous_steps = 0;
+  for (size_t n = 2; n <= 8; ++n) {
+    DatabaseScheme scheme = MakeChainScheme(n);
+    obs::Snapshot delta = Measure([&] { (void)IsLosslessByChase(scheme); });
+    const uint64_t steps = DeltaOf(delta, "chase.steps");
+    const uint64_t rows = DeltaOf(delta, "tableau.rows_materialized");
+    EXPECT_GE(rows, n) << "chain n=" << n
+                       << ": the chase tableau starts with one row per "
+                          "relation";
+    EXPECT_GE(steps, rows) << "chain n=" << n;
+    EXPECT_GE(steps, previous_steps) << "chain n=" << n;
+    previous_steps = steps;
+  }
+}
+
+// Recognition on the paper's flagship examples must drive every phase the
+// pipeline owns: KEP rounds, closure computations and (once the partition
+// is merged) independence tests on the induced scheme.
+TEST(ObsInvariantsTest, RecognitionTouchesAllPhases) {
+  IRD_REQUIRE_OBS();
+  for (const char* name : {"Example1R", "Example11", "Example12"}) {
+    DatabaseScheme scheme = name == std::string_view("Example1R")
+                                ? test::Example1R()
+                                : name == std::string_view("Example11")
+                                      ? test::Example11()
+                                      : test::Example12();
+    obs::Snapshot delta =
+        Measure([&] { EXPECT_TRUE(IsIndependenceReducible(scheme)) << name; });
+    EXPECT_GT(DeltaOf(delta, "kep.rounds"), 0u) << name;
+    EXPECT_GT(DeltaOf(delta, "closure.computations"), 0u) << name;
+    EXPECT_GT(DeltaOf(delta, "recognition.independence_tests"), 0u) << name;
+    EXPECT_GT(DeltaOf(delta, "recognition.runs"), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ird
