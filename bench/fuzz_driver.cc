@@ -4,7 +4,7 @@
 // and writes them into a corpus directory.
 //
 //   fuzz_driver [--seed N] [--count N] [--corpus DIR] [--max-relations N]
-//               [--mutations N] [--no-shrink]
+//               [--mutations N] [--no-shrink] [--jobs N]
 //
 //   --seed N           base seed (default 1)
 //   --count N          schemes per family (default 2000)
@@ -12,6 +12,13 @@
 //   --max-relations N  skip schemes larger than this (default 10)
 //   --mutations N      max mutation stack per scheme (default 3)
 //   --no-shrink        write the unshrunk scheme (faster triage)
+//   --jobs N           compare/shrink on N worker threads (default 1)
+//
+// The campaign is deterministic in (seed, count) regardless of --jobs:
+// schemes are generated serially per family (one RNG stream each), the
+// oracle comparisons and shrinking fan out over a BatchAnalyzer pool, and
+// all reporting — stderr lines, corpus writes, per-repro counter headers —
+// happens serially afterwards in generation order.
 //
 // Exit status: 0 = full agreement, 1 = disagreements found (repros
 // written), 2 = bad usage.
@@ -19,11 +26,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "diagnostics/verify.h"
+#include "engine/batch.h"
 #include "obs/export.h"
 #include "oracle/corpus.h"
 #include "oracle/differential.h"
@@ -41,6 +50,7 @@ struct Args {
   size_t max_relations = 10;
   size_t mutations = 3;
   bool shrink = true;
+  size_t jobs = 1;
 };
 
 struct Family {
@@ -110,11 +120,29 @@ std::string CounterHeaderLine(const DatabaseScheme& repro,
   return line;
 }
 
+// One generated scheme that survived validation, plus what the (possibly
+// parallel) comparison phase found out about it.
+struct Candidate {
+  size_t family;  // index into kFamilies
+  size_t iter;    // iteration within the family
+  DatabaseScheme scheme;
+  // Filled by the comparison phase:
+  Status lint_status;
+  std::vector<Disagreement> found;
+  // Shrunk (or original) scheme, engaged iff found is nonempty.
+  std::optional<DatabaseScheme> repro;
+};
+
 int Run(const Args& args) {
-  size_t total = 0, skipped = 0, disagreements = 0;
-  for (const Family& family : kFamilies) {
+  // Phase 1 — serial generation. Each family consumes one RNG stream for
+  // both generation and mutation, so the candidate list is a pure function
+  // of (seed, count) no matter how many jobs run later.
+  std::vector<Candidate> candidates;
+  size_t skipped = 0;
+  std::vector<size_t> family_tested(std::size(kFamilies), 0);
+  for (size_t f = 0; f < std::size(kFamilies); ++f) {
+    const Family& family = kFamilies[f];
     std::mt19937_64 rng(args.seed ^ std::hash<std::string>{}(family.name));
-    size_t family_tested = 0;
     for (size_t i = 0; i < args.count; ++i) {
       DatabaseScheme scheme = family.make(i, &rng);
       size_t stack = rng() % (args.mutations + 1);
@@ -128,56 +156,86 @@ int Run(const Args& args) {
         ++skipped;
         continue;
       }
-      ++total;
-      ++family_tested;
+      ++family_tested[f];
+      candidates.push_back(Candidate{f, i, std::move(scheme)});
+    }
+  }
 
+  // Phase 2 — comparison and shrinking, fanned out over the pool. Each
+  // candidate is touched by exactly one worker (its DatabaseScheme's lazy
+  // FD cache is not thread-safe); the only shared state the payload
+  // reaches is the obs counter registry, which is atomic.
+  {
+    BatchAnalyzer batch(args.jobs);
+    batch.ForEachIndex(candidates.size(), [&](size_t c) {
+      Candidate& cand = candidates[c];
       // Lint self-check: the diagnostics engine must not crash and every
       // witness it emits must pass the independent verifier. A failure is
       // triaged exactly like an oracle disagreement.
-      Status lint_ok = diagnostics::LintSelfCheck(scheme);
-      if (!lint_ok.ok()) {
+      cand.lint_status = diagnostics::LintSelfCheck(cand.scheme);
+      DifferentialOptions opt;
+      opt.seed = args.seed + cand.iter;
+      cand.found = CompareAgainstOracles(cand.scheme, opt);
+      if (cand.found.empty()) return;
+      cand.repro = cand.scheme;
+      if (args.shrink) {
+        const std::string& routine = cand.found[0].routine;
+        cand.repro = ShrinkScheme(cand.scheme, [&](const DatabaseScheme& s) {
+          return DisagreesOn(s, opt, routine);
+        });
+      }
+    });
+  }
+
+  // Phase 3 — serial reporting in generation order: stderr lines, corpus
+  // writes and the per-repro counter headers (which re-run the comparison
+  // between two registry snapshots, so they must not overlap with phase-2
+  // counter traffic).
+  size_t total = candidates.size(), disagreements = 0;
+  size_t next_candidate = 0;
+  for (size_t f = 0; f < std::size(kFamilies); ++f) {
+    const Family& family = kFamilies[f];
+    for (; next_candidate < candidates.size() &&
+           candidates[next_candidate].family == f;
+         ++next_candidate) {
+      const Candidate& cand = candidates[next_candidate];
+      const size_t i = cand.iter;
+      if (!cand.lint_status.ok()) {
         ++disagreements;
         std::fprintf(stderr, "[%s/%zu] diagnostics/verify: %s\n", family.name,
-                     i, lint_ok.ToString().c_str());
+                     i, cand.lint_status.ToString().c_str());
         std::string name = std::string("diagnostics-verify-") + family.name +
                            "-s" + std::to_string(args.seed) + "-" +
                            std::to_string(i);
         Status written = WriteCorpusFile(
-            args.corpus, name, scheme,
-            {"routine: diagnostics/verify", "detail: " + lint_ok.ToString(),
+            args.corpus, name, cand.scheme,
+            {"routine: diagnostics/verify",
+             "detail: " + cand.lint_status.ToString(),
              "found by: fuzz_driver, " + std::string(family.name) +
                  " family, seed " + std::to_string(args.seed) +
                  ", iteration " + std::to_string(i),
-             CounterHeaderLine(scheme, DifferentialOptions{})});
+             CounterHeaderLine(cand.scheme, DifferentialOptions{})});
         if (!written.ok()) {
           std::fprintf(stderr, "corpus write failed: %s\n",
                        written.ToString().c_str());
         }
       }
-
-      DifferentialOptions opt;
-      opt.seed = args.seed + i;
-      std::vector<Disagreement> found = CompareAgainstOracles(scheme, opt);
-      if (found.empty()) continue;
+      if (cand.found.empty()) continue;
       ++disagreements;
-      const Disagreement& first = found[0];
+      const Disagreement& first = cand.found[0];
       std::fprintf(stderr, "[%s/%zu] %s: %s\n", family.name, i,
                    first.routine.c_str(), first.detail.c_str());
-      DatabaseScheme repro = scheme;
-      if (args.shrink) {
-        repro = ShrinkScheme(scheme, [&](const DatabaseScheme& s) {
-          return DisagreesOn(s, opt, first.routine);
-        });
-      }
+      DifferentialOptions opt;
+      opt.seed = args.seed + i;
       std::string name = Sanitize(first.routine) + "-" + family.name + "-s" +
                          std::to_string(args.seed) + "-" + std::to_string(i);
       Status written = WriteCorpusFile(
-          args.corpus, name, repro,
+          args.corpus, name, *cand.repro,
           {"routine: " + first.routine, "detail: " + first.detail,
            "found by: fuzz_driver, " + std::string(family.name) +
                " family, seed " + std::to_string(args.seed) + ", iteration " +
                std::to_string(i),
-           CounterHeaderLine(repro, opt)});
+           CounterHeaderLine(*cand.repro, opt)});
       if (!written.ok()) {
         std::fprintf(stderr, "corpus write failed: %s\n",
                      written.ToString().c_str());
@@ -186,7 +244,8 @@ int Run(const Args& args) {
                      name.c_str());
       }
     }
-    std::fprintf(stderr, "%-12s %zu schemes\n", family.name, family_tested);
+    std::fprintf(stderr, "%-12s %zu schemes\n", family.name,
+                 family_tested[f]);
   }
   std::fprintf(stderr,
                "done: %zu schemes tested, %zu skipped, %zu disagreements\n",
@@ -224,6 +283,9 @@ int main(int argc, char** argv) {
       args.mutations = std::strtoull(next("--mutations"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       args.shrink = false;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      args.jobs = std::strtoull(next("--jobs"), nullptr, 10);
+      if (args.jobs == 0) args.jobs = 1;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;

@@ -1,6 +1,6 @@
 // ird_lint: witness-backed static analysis for database schemes.
 //
-//   ird_lint [--json] [--verify] [--no-instances] FILE...
+//   ird_lint [--json] [--verify] [--no-instances] [--jobs N] FILE...
 //
 // Each FILE is a `.scheme` text-format file (io/text_format.h grammar;
 // `insert` lines are accepted and ignored). For every file the tool runs
@@ -9,10 +9,16 @@
 // witness is re-checked by the independent checker (diagnostics/verify.h);
 // an unverifiable witness is a bug in the analyzer and fails the run.
 //
+// With --jobs N the files are parsed and linted on a BatchAnalyzer pool
+// (one SchemeAnalysis per file per worker); output is buffered per file
+// and emitted in input order, so stdout and stderr are byte-identical to
+// a --jobs 1 run.
+//
 // Exit status: 0 = all files linted (diagnostics may exist); 1 = a file
 // failed to parse or a witness failed verification; 2 = usage error.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -22,6 +28,7 @@
 #include "diagnostics/lint.h"
 #include "diagnostics/render.h"
 #include "diagnostics/verify.h"
+#include "engine/batch.h"
 #include "io/text_format.h"
 #include "obs/export.h"
 
@@ -30,7 +37,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: ird_lint [--json] [--verify] [--no-instances] "
-               "[--stats] FILE...\n"
+               "[--stats] [--jobs N] FILE...\n"
                "  --json          machine-readable output, one JSON object "
                "per file\n"
                "  --verify        re-check every witness with the "
@@ -38,7 +45,9 @@ int Usage() {
                "  --no-instances  skip adversarial instance construction "
                "for split keys\n"
                "  --stats         print the engine counter/span summary to "
-               "stderr at the end\n");
+               "stderr at the end\n"
+               "  --jobs N        lint files on N worker threads "
+               "(input-ordered output; default 1)\n");
   return 2;
 }
 
@@ -46,60 +55,70 @@ struct Options {
   bool json = false;
   bool verify = false;
   bool stats = false;
+  size_t jobs = 1;
   ird::diagnostics::LintOptions lint;
   std::vector<std::string> files;
 };
 
-// Returns 0 on success, 1 on parse failure or witness-verification failure.
-int LintFile(const Options& opts, const std::string& path) {
+// One file's buffered outcome; emitted serially in input order after the
+// (possibly parallel) lint pass.
+struct FileResult {
+  int rc = 0;
+  std::string out;  // stdout payload
+  std::string err;  // stderr payload
+};
+
+FileResult LintFile(const Options& opts, const std::string& path) {
+  FileResult res;
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "ird_lint: cannot open %s\n", path.c_str());
-    return 1;
+    res.err = "ird_lint: cannot open " + path + "\n";
+    res.rc = 1;
+    return res;
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
   ird::Result<ird::ParsedDatabase> parsed =
       ird::ParseDatabaseText(buffer.str());
   if (!parsed.ok()) {
-    std::fprintf(stderr, "ird_lint: %s: %s\n", path.c_str(),
-                 parsed.status().ToString().c_str());
-    return 1;
+    res.err =
+        "ird_lint: " + path + ": " + parsed.status().ToString() + "\n";
+    res.rc = 1;
+    return res;
   }
   const ird::DatabaseScheme& scheme = parsed->scheme;
+  ird::SchemeAnalysis analysis(scheme);
   ird::diagnostics::LintReport report =
-      ird::diagnostics::LintScheme(scheme, opts.lint);
+      ird::diagnostics::LintScheme(analysis, opts.lint);
 
-  int rc = 0;
   std::vector<ird::Status> verification;
   if (opts.verify) {
     verification.reserve(report.diagnostics.size());
     for (const ird::diagnostics::Diagnostic& d : report.diagnostics) {
       verification.push_back(ird::diagnostics::VerifyWitness(scheme, d));
       if (!verification.back().ok()) {
-        std::fprintf(stderr, "ird_lint: %s: UNVERIFIED witness [%s]: %s\n",
-                     path.c_str(), d.Signature(scheme).c_str(),
-                     verification.back().ToString().c_str());
-        rc = 1;
+        res.err += "ird_lint: " + path + ": UNVERIFIED witness [" +
+                   d.Signature(scheme) + "]: " +
+                   verification.back().ToString() + "\n";
+        res.rc = 1;
       }
     }
   }
 
   if (opts.json) {
-    std::printf("%s\n",
-                ird::diagnostics::RenderJson(
-                    scheme, report, path,
-                    opts.verify ? &verification : nullptr)
-                    .c_str());
+    res.out = ird::diagnostics::RenderJson(
+                  scheme, report, path,
+                  opts.verify ? &verification : nullptr) +
+              "\n";
   } else {
-    std::printf("== %s ==\n%s", path.c_str(),
-                ird::diagnostics::RenderText(scheme, report).c_str());
-    if (opts.verify && rc == 0 && !report.diagnostics.empty()) {
-      std::printf("all %zu witness(es) verified\n",
-                  report.diagnostics.size());
+    res.out = "== " + path + " ==\n" +
+              ird::diagnostics::RenderText(scheme, report);
+    if (opts.verify && res.rc == 0 && !report.diagnostics.empty()) {
+      res.out += "all " + std::to_string(report.diagnostics.size()) +
+                 " witness(es) verified\n";
     }
   }
-  return rc;
+  return res;
 }
 
 }  // namespace
@@ -115,6 +134,14 @@ int main(int argc, char** argv) {
       opts.lint.build_instance_witnesses = false;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       opts.stats = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) return Usage();
+      long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "ird_lint: --jobs wants a positive integer\n");
+        return Usage();
+      }
+      opts.jobs = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -126,9 +153,20 @@ int main(int argc, char** argv) {
     }
   }
   if (opts.files.empty()) return Usage();
+
+  std::vector<FileResult> results(opts.files.size());
+  {
+    ird::BatchAnalyzer batch(opts.jobs);
+    batch.ForEachIndex(opts.files.size(), [&](size_t i) {
+      results[i] = LintFile(opts, opts.files[i]);
+    });
+  }
+
   int rc = 0;
-  for (const std::string& file : opts.files) {
-    if (LintFile(opts, file) != 0) rc = 1;
+  for (const FileResult& res : results) {
+    if (!res.err.empty()) std::fputs(res.err.c_str(), stderr);
+    if (!res.out.empty()) std::fputs(res.out.c_str(), stdout);
+    if (res.rc != 0) rc = 1;
   }
   if (opts.stats) {
     std::fprintf(stderr, "=== engine instrumentation summary ===\n%s",

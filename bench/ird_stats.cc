@@ -11,13 +11,15 @@
 // recognition.independence_tests, ...) stayed zero — catching silently
 // dead instrumentation in CI.
 //
-//   ird_stats [--out FILE] [--trace FILE] [--anchors DIR] [--scale N]
-//             [--check] [--list]
+//   ird_stats [--out FILE] [--trace FILE] [--anchors DIR] [--jobs N]
+//             [--scale N] [--check] [--list]
 //
 //   --out FILE     write the JSON array there (default: stdout)
 //   --trace FILE   record span events and write a chrome://tracing JSON
 //   --anchors DIR  also classify every .scheme file under DIR (corpus
 //                  anchors; exercises the io + diagnostics-facing paths)
+//   --jobs N       classify the anchors on N worker threads (BatchAnalyzer;
+//                  default 1)
 //   --scale N      multiply per-workload repetition counts (default 1)
 //   --check        exit 1 if a required counter is zero over the whole run
 //   --list         print workload names and exit
@@ -38,6 +40,8 @@
 #include "core/classify.h"
 #include "core/recognition.h"
 #include "core/split.h"
+#include "engine/batch.h"
+#include "engine/scheme_analysis.h"
 #include "io/text_format.h"
 #include "obs/export.h"
 #include "relation/weak_instance.h"
@@ -51,6 +55,7 @@ struct Args {
   std::string out;
   std::string trace;
   std::string anchors;
+  size_t jobs = 1;
   size_t scale = 1;
   bool check = false;
   bool list = false;
@@ -148,6 +153,38 @@ std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale) {
   }
 
   {
+    // The memoization story end-to-end: one SchemeAnalysis, many
+    // recognitions and split sweeps. Everything after the first repetition
+    // is served from the verdict caches and the closure memo
+    // (engine.closure_memo.hits), and no engine is ever built twice
+    // (engine.closure_engine.builds stays flat).
+    const size_t blocks = 8, per_block = 3, reps = 25 * scale;
+    DatabaseScheme scheme = MakeBlockScheme(blocks, per_block);
+    records.push_back(RunWorkload(
+        "recognition_shared_context",
+        ConfigJson({{"blocks", blocks},
+                    {"per_block", per_block},
+                    {"relations", scheme.size()},
+                    {"reps", reps}}),
+        [&] {
+          SchemeAnalysis analysis(scheme);
+          for (size_t i = 0; i < reps; ++i) {
+            RecognitionResult r = RecognizeIndependenceReducible(analysis);
+            IRD_CHECK(r.accepted);
+            for (const std::vector<size_t>& block : r.partition) {
+              (void)SplitKeys(analysis, block);
+            }
+            // Full-cover closures of every relation: the first repetition
+            // shares entries with KEP's root refinement, later repetitions
+            // are pure memo hits.
+            for (size_t j = 0; j < scheme.size(); ++j) {
+              (void)analysis.FullClosure(scheme.relation(j).attrs);
+            }
+          }
+        }));
+  }
+
+  {
     const size_t chain = 12, split_k = 3, reps = 10 * scale;
     DatabaseScheme chain_scheme = MakeChainScheme(chain);
     DatabaseScheme split_scheme = MakeSplitScheme(split_k);
@@ -191,7 +228,8 @@ std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale) {
 // Classifies every .scheme file under `dir` (the corpus anchors): the same
 // engines ird_lint leans on, driven through parsed input instead of
 // generators.
-WorkloadRecord RunAnchorWorkload(const std::string& dir, int* rc) {
+WorkloadRecord RunAnchorWorkload(const std::string& dir, size_t jobs,
+                                 int* rc) {
   std::vector<std::filesystem::path> files;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
@@ -204,7 +242,13 @@ WorkloadRecord RunAnchorWorkload(const std::string& dir, int* rc) {
   }
   std::sort(files.begin(), files.end());
   return RunWorkload(
-      "classify_anchors", ConfigJson({{"files", files.size()}}), [&] {
+      "classify_anchors",
+      ConfigJson({{"files", files.size()}, {"jobs", jobs}}), [&] {
+        // Parse serially (errors report in sorted file order), classify on
+        // the pool: one parsed scheme and one fresh SchemeAnalysis per
+        // worker claim, never shared across threads.
+        std::vector<ParsedDatabase> parsed_dbs;
+        parsed_dbs.reserve(files.size());
         for (const std::filesystem::path& path : files) {
           std::ifstream in(path);
           std::stringstream buffer;
@@ -216,8 +260,17 @@ WorkloadRecord RunAnchorWorkload(const std::string& dir, int* rc) {
             *rc = 1;
             continue;
           }
-          ClassifyScheme(parsed->scheme);
+          parsed_dbs.push_back(std::move(parsed).value());
         }
+        std::vector<const DatabaseScheme*> schemes;
+        schemes.reserve(parsed_dbs.size());
+        for (const ParsedDatabase& db : parsed_dbs) {
+          schemes.push_back(&db.scheme);
+        }
+        BatchAnalyzer batch(jobs);
+        batch.AnalyzeEach(schemes, [](size_t, SchemeAnalysis& analysis) {
+          ClassifyScheme(analysis);
+        });
       });
 }
 
@@ -240,13 +293,16 @@ constexpr const char* kRequiredCounters[] = {
     "closure.computations", "closure.iterations",
     "kep.rounds",           "split.cover_checks",
     "recognition.independence_tests", "tableau.rows_materialized",
+    "engine.closure_engine.builds",   "engine.closure_memo.hits",
+    "engine.closure_memo.misses",
 };
 
 int Run(const Args& args) {
   if (args.list) {
     std::printf(
         "recognition_block\nrecognition_independent\nrecognition_random\n"
-        "split_analysis\nchase_consistency\nclassify_anchors (--anchors)\n");
+        "recognition_shared_context\nsplit_analysis\nchase_consistency\n"
+        "classify_anchors (--anchors)\n");
     return 0;
   }
   if (!args.trace.empty()) obs::Trace::SetEnabled(true);
@@ -255,7 +311,7 @@ int Run(const Args& args) {
   int rc = 0;
   std::vector<WorkloadRecord> records = RunStandardWorkloads(args.scale);
   if (!args.anchors.empty()) {
-    records.push_back(RunAnchorWorkload(args.anchors, &rc));
+    records.push_back(RunAnchorWorkload(args.anchors, args.jobs, &rc));
   }
 
   std::string rendered = RenderRecords(records);
@@ -319,6 +375,9 @@ int main(int argc, char** argv) {
       args.trace = next("--trace");
     } else if (std::strcmp(argv[i], "--anchors") == 0) {
       args.anchors = next("--anchors");
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      args.jobs = std::strtoull(next("--jobs"), nullptr, 10);
+      if (args.jobs == 0) args.jobs = 1;
     } else if (std::strcmp(argv[i], "--scale") == 0) {
       args.scale = std::strtoull(next("--scale"), nullptr, 10);
       if (args.scale == 0) args.scale = 1;
@@ -329,7 +388,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: ird_stats [--out FILE] [--trace FILE] "
-                   "[--anchors DIR] [--scale N] [--check] [--list]\n");
+                   "[--anchors DIR] [--jobs N] [--scale N] [--check] "
+                   "[--list]\n");
       return 2;
     }
   }

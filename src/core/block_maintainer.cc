@@ -6,8 +6,10 @@ namespace ird {
 
 Result<IndependenceReducibleMaintainer> IndependenceReducibleMaintainer::Create(
     DatabaseState state, bool verify_consistency) {
-  RecognitionResult recognition =
-      RecognizeIndependenceReducible(state.scheme());
+  // One analysis serves recognition and every per-block split test; it must
+  // not outlive this function (the scheme moves into the maintainer below).
+  SchemeAnalysis analysis(state.scheme());
+  RecognitionResult recognition = RecognizeIndependenceReducible(analysis);
   if (!recognition.accepted) {
     return FailedPrecondition(
         "scheme is not independence-reducible: " +
@@ -22,7 +24,7 @@ Result<IndependenceReducibleMaintainer> IndependenceReducibleMaintainer::Create(
     for (size_t rel : block.pool) {
       m.rel_to_block_[rel] = b;
     }
-    block.split_free = IsSplitFree(state.scheme(), block.pool);
+    block.split_free = IsSplitFree(analysis, block.pool);
     if (!block.split_free) m.all_blocks_split_free_ = false;
     if (block.split_free) {
       // Algorithm 5 machinery; consistency of the block substate is

@@ -3,19 +3,21 @@
 #include "core/independence.h"
 #include "core/key_equivalence.h"
 #include "core/split.h"
+#include "engine/scheme_analysis.h"
 #include "hypergraph/gamma_cycle.h"
 #include "hypergraph/hypergraph.h"
 
 namespace ird {
 
-SchemeClassification ClassifyScheme(const DatabaseScheme& scheme,
+SchemeClassification ClassifyScheme(SchemeAnalysis& analysis,
                                     bool test_acyclicity) {
+  const DatabaseScheme& scheme = analysis.scheme();
   SchemeClassification c;
   c.valid = scheme.Validate();
   c.bcnf = scheme.IsBcnf();
-  c.lossless = scheme.IsLossless();
-  c.independent = IsIndependent(scheme);
-  c.key_equivalent = IsKeyEquivalent(scheme);
+  c.lossless = IsLossless(analysis);
+  c.independent = IsIndependent(analysis);
+  c.key_equivalent = IsKeyEquivalent(analysis);
   if (test_acyclicity) {
     Hypergraph h = Hypergraph::Of(scheme);
     // The γ-cycle search scales to more edges than the u.m.c. form (whose
@@ -24,12 +26,12 @@ SchemeClassification ClassifyScheme(const DatabaseScheme& scheme,
     c.gamma_acyclic = !FindGammaCycle(h).has_value();
     c.alpha_acyclic = IsAlphaAcyclic(h);
   }
-  c.recognition = RecognizeIndependenceReducible(scheme);
+  c.recognition = RecognizeIndependenceReducible(analysis);
   c.independence_reducible = c.recognition.accepted;
   if (c.independence_reducible) {
     c.split_free = true;
     for (const std::vector<size_t>& block : c.recognition.partition) {
-      bool sf = IsSplitFree(scheme, block);
+      bool sf = IsSplitFree(analysis, block);
       c.block_split_free.push_back(sf);
       if (!sf) c.split_free = false;
     }
@@ -38,6 +40,12 @@ SchemeClassification ClassifyScheme(const DatabaseScheme& scheme,
     c.ctm = c.split_free;             // Theorem 5.5
   }
   return c;
+}
+
+SchemeClassification ClassifyScheme(const DatabaseScheme& scheme,
+                                    bool test_acyclicity) {
+  SchemeAnalysis analysis(scheme);
+  return ClassifyScheme(analysis, test_acyclicity);
 }
 
 }  // namespace ird

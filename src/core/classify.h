@@ -40,6 +40,13 @@ struct SchemeClassification {
 SchemeClassification ClassifyScheme(const DatabaseScheme& scheme,
                                     bool test_acyclicity = true);
 
+// Engine-backed flavor: losslessness, independence, recognition and the
+// per-block split tests all share the analysis's interned covers and
+// closure memos (BCNF and acyclicity are closure-free or enumerate
+// projected FDs and stay on the scheme).
+SchemeClassification ClassifyScheme(SchemeAnalysis& analysis,
+                                    bool test_acyclicity = true);
+
 }  // namespace ird
 
 #endif  // IRD_CORE_CLASSIFY_H_

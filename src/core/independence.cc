@@ -1,47 +1,56 @@
 #include "core/independence.h"
 
-#include "fd/closure_engine.h"
 #include "obs/obs.h"
 
 namespace ird {
 
-std::string UniquenessViolation::ToString(
-    const DatabaseScheme& scheme) const {
-  return "closure of " + scheme.relation(i).name + " without the keys of " +
-         scheme.relation(j).name + " embeds the key dependency " +
-         scheme.universe().Format(key) + " -> " +
-         scheme.universe().Name(attribute);
-}
-
 std::optional<UniquenessViolation> FindUniquenessViolation(
-    const DatabaseScheme& scheme) {
+    SchemeAnalysis& analysis) {
+  SchemeAnalysis::Cache& cache = analysis.cache();
+  if (cache.uniqueness_computed) return cache.uniqueness;
   IRD_SPAN("independence");
-  for (size_t j = 0; j < scheme.size(); ++j) {
-    // One indexed engine per F - Fj, amortized over all i.
-    ClosureEngine without_j(scheme.KeyDependenciesExcept(j));
+  const DatabaseScheme& scheme = analysis.scheme();
+  std::optional<UniquenessViolation> found;
+  for (size_t j = 0; j < scheme.size() && !found.has_value(); ++j) {
+    // One interned engine per F - Fj, amortized over all i (and over every
+    // later query against the same leave-one-out cover).
     const RelationScheme& rj = scheme.relation(j);
-    for (size_t i = 0; i < scheme.size(); ++i) {
+    for (size_t i = 0; i < scheme.size() && !found.has_value(); ++i) {
       if (i == j) continue;
       // One uniqueness probe per ordered (i, j) pair: at most n(n-1) per
       // scheme, fewer on early violation.
       IRD_COUNT(recognition.independence_tests);
-      AttributeSet closure = without_j.Closure(scheme.relation(i).attrs);
+      AttributeSet closure =
+          analysis.ClosureExcept(j, scheme.relation(i).attrs);
       // Does the closure embed some key dependency K -> A of Rj? That is:
       // K ⊆ closure and some A ∈ Rj - K also in the closure.
       for (const AttributeSet& key : rj.keys) {
         if (!key.IsSubsetOf(closure)) continue;
         AttributeSet extra = closure.Intersect(rj.attrs).Minus(key);
         if (!extra.Empty()) {
-          return UniquenessViolation{i, j, key, extra.First()};
+          found = UniquenessViolation{i, j, key, extra.First()};
+          break;
         }
       }
     }
   }
-  return std::nullopt;
+  cache.uniqueness = found;
+  cache.uniqueness_computed = true;
+  return found;
+}
+
+std::optional<UniquenessViolation> FindUniquenessViolation(
+    const DatabaseScheme& scheme) {
+  SchemeAnalysis analysis(scheme);
+  return FindUniquenessViolation(analysis);
 }
 
 bool IsIndependent(const DatabaseScheme& scheme) {
   return !FindUniquenessViolation(scheme).has_value();
+}
+
+bool IsIndependent(SchemeAnalysis& analysis) {
+  return !FindUniquenessViolation(analysis).has_value();
 }
 
 }  // namespace ird

@@ -3,36 +3,35 @@
 // key dependencies, independence is characterized by the *uniqueness
 // condition* [S1][S2]: for all Ri ≠ Rj, the closure of Ri wrt F - Fj does
 // not contain (embed) a key dependency of Rj.
+//
+// UniquenessViolation itself lives in engine/scheme_analysis.h (the
+// analysis context caches the verdict); it is re-exported here so existing
+// includes keep working.
 
 #ifndef IRD_CORE_INDEPENDENCE_H_
 #define IRD_CORE_INDEPENDENCE_H_
 
 #include <optional>
-#include <string>
-#include <vector>
 
+#include "engine/scheme_analysis.h"
 #include "schema/database_scheme.h"
 
 namespace ird {
-
-// A witness that the uniqueness condition fails: Closure_{F-Fj}(Ri) embeds
-// the key dependency key -> attr of Rj.
-struct UniquenessViolation {
-  size_t i;
-  size_t j;
-  AttributeSet key;       // a key of Rj
-  AttributeId attribute;  // an attribute of Rj - key inside the closure
-
-  std::string ToString(const DatabaseScheme& scheme) const;
-};
 
 // Returns a violation of the uniqueness condition, or nullopt if R
 // satisfies it (and is therefore independent wrt its key dependencies).
 std::optional<UniquenessViolation> FindUniquenessViolation(
     const DatabaseScheme& scheme);
 
+// Engine-backed flavor: the leave-one-out closures go through the
+// analysis's memoized F - Fj engines and the verdict is cached in the
+// analysis.
+std::optional<UniquenessViolation> FindUniquenessViolation(
+    SchemeAnalysis& analysis);
+
 // True iff R satisfies the uniqueness condition.
 bool IsIndependent(const DatabaseScheme& scheme);
+bool IsIndependent(SchemeAnalysis& analysis);
 
 }  // namespace ird
 

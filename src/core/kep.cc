@@ -4,7 +4,6 @@
 #include <map>
 #include <numeric>
 
-#include "fd/closure_engine.h"
 #include "obs/obs.h"
 
 namespace ird {
@@ -13,18 +12,18 @@ namespace {
 
 // One recursion of function KEP on `pool` with the pool's own key
 // dependencies.
-void KepRecurse(const DatabaseScheme& scheme, const std::vector<size_t>& pool,
+void KepRecurse(SchemeAnalysis& analysis, const std::vector<size_t>& pool,
                 std::vector<std::vector<size_t>>* out) {
+  const DatabaseScheme& scheme = analysis.scheme();
   // Statement (2): part := { [Ri] }, where [Ri] groups schemes with equal
   // closure wrt the pool's key dependencies.
   IRD_DCHECK(!pool.empty());
   // One KEP round = one recursion on a pool; the recursion tree has at
   // most 2n-1 nodes (leaves are disjoint blocks, internals split >= 2 ways).
   IRD_COUNT(kep.rounds);
-  ClosureEngine fds(scheme.KeyDependenciesOf(pool));
   std::map<AttributeSet, std::vector<size_t>> groups;
   for (size_t i : pool) {
-    groups[fds.Closure(scheme.relation(i).attrs)].push_back(i);
+    groups[analysis.Closure(pool, scheme.relation(i).attrs)].push_back(i);
   }
 #ifndef NDEBUG
   // The groups partition the pool (recursion preserves total size), and
@@ -45,19 +44,24 @@ void KepRecurse(const DatabaseScheme& scheme, const std::vector<size_t>& pool,
     return;
   }
   for (auto& [closure, block] : groups) {
-    KepRecurse(scheme, block, out);
+    KepRecurse(analysis, block, out);
   }
 }
 
 }  // namespace
 
-std::vector<std::vector<size_t>> KeyEquivalentPartition(
-    const DatabaseScheme& scheme) {
+const std::vector<std::vector<size_t>>& KeyEquivalentPartition(
+    SchemeAnalysis& analysis) {
+  SchemeAnalysis::Cache& cache = analysis.cache();
+  if (cache.kep_partition.has_value()) return *cache.kep_partition;
   IRD_SPAN("kep");
-  std::vector<size_t> pool(scheme.size());
-  std::iota(pool.begin(), pool.end(), 0);
   std::vector<std::vector<size_t>> out;
-  KepRecurse(scheme, pool, &out);
+  // The root pool is the full scheme; its cover is the analysis's shared
+  // full-cover engine, so the per-relation closures computed here are the
+  // same memo entries IsLossless and the uniqueness probes consult.
+  std::vector<size_t> root(analysis.scheme().size());
+  std::iota(root.begin(), root.end(), 0);
+  KepRecurse(analysis, root, &out);
   for (std::vector<size_t>& block : out) {
     std::sort(block.begin(), block.end());
   }
@@ -65,7 +69,14 @@ std::vector<std::vector<size_t>> KeyEquivalentPartition(
             [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
               return a.front() < b.front();
             });
-  return out;
+  cache.kep_partition = std::move(out);
+  return *cache.kep_partition;
+}
+
+std::vector<std::vector<size_t>> KeyEquivalentPartition(
+    const DatabaseScheme& scheme) {
+  SchemeAnalysis analysis(scheme);
+  return KeyEquivalentPartition(analysis);
 }
 
 }  // namespace ird

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "engine/scheme_analysis.h"
 #include "schema/database_scheme.h"
 
 namespace ird {
@@ -17,6 +18,13 @@ namespace ird {
 // relation indices; blocks are ordered by their smallest member.
 std::vector<std::vector<size_t>> KeyEquivalentPartition(
     const DatabaseScheme& scheme);
+
+// Engine-backed flavor: every per-pool closure goes through the analysis's
+// memoized engines and the partition itself is cached in the analysis —
+// the second call is a lookup. The returned reference is valid until the
+// scheme's revision changes.
+const std::vector<std::vector<size_t>>& KeyEquivalentPartition(
+    SchemeAnalysis& analysis);
 
 }  // namespace ird
 

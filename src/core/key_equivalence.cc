@@ -64,4 +64,11 @@ bool IsKeyEquivalent(const DatabaseScheme& scheme) {
   return IsKeyEquivalentSubset(scheme, FullPool(scheme));
 }
 
+bool IsKeyEquivalent(SchemeAnalysis& analysis) {
+  SchemeAnalysis::Cache& cache = analysis.cache();
+  if (cache.key_equivalent.has_value()) return *cache.key_equivalent;
+  cache.key_equivalent = IsKeyEquivalent(analysis.scheme());
+  return *cache.key_equivalent;
+}
+
 }  // namespace ird

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "base/attribute_set.h"
+#include "engine/scheme_analysis.h"
 #include "schema/database_scheme.h"
 
 namespace ird {
@@ -47,6 +48,10 @@ bool IsKeyEquivalentSubset(const DatabaseScheme& scheme,
 
 // True iff R itself is key-equivalent wrt F.
 bool IsKeyEquivalent(const DatabaseScheme& scheme);
+
+// Cached flavor: Algorithm 3 computes no FD closures (it absorbs whole
+// schemes), so only the verdict is memoized in the analysis.
+bool IsKeyEquivalent(SchemeAnalysis& analysis);
 
 }  // namespace ird
 

@@ -1,5 +1,9 @@
 #include "core/recognition.h"
 
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
 #include "obs/obs.h"
 
 namespace ird {
@@ -11,18 +15,14 @@ DatabaseScheme InducedScheme(
   for (const std::vector<size_t>& block : partition) {
     RelationScheme merged;
     merged.name = 'D' + std::to_string(induced.size() + 1);
+    // Dedupe the block's keys by value; declaration order of the first
+    // occurrence is preserved (rendered output depends on it).
+    std::unordered_set<AttributeSet, AttributeSetHash> seen;
     for (size_t i : block) {
       const RelationScheme& r = scheme.relation(i);
       merged.attrs.UnionWith(r.attrs);
       for (const AttributeSet& key : r.keys) {
-        bool known = false;
-        for (const AttributeSet& k : merged.keys) {
-          if (k == key) {
-            known = true;
-            break;
-          }
-        }
-        if (!known) merged.keys.push_back(key);
+        if (seen.insert(key).second) merged.keys.push_back(key);
       }
     }
     induced.AddRelation(std::move(merged));
@@ -30,23 +30,41 @@ DatabaseScheme InducedScheme(
   return induced;
 }
 
-RecognitionResult RecognizeIndependenceReducible(
-    const DatabaseScheme& scheme) {
+RecognitionResult RecognizeIndependenceReducible(SchemeAnalysis& analysis) {
   IRD_SPAN("recognition");
   IRD_COUNT(recognition.runs);
   RecognitionResult result;
-  // Step (1): the key-equivalent partition via KEP.
-  result.partition = KeyEquivalentPartition(scheme);
-  // Step (2): D with the blocks' embedded key dependencies.
-  result.induced = InducedScheme(scheme, result.partition);
-  // Step (3): the independence test on D.
-  result.violation = FindUniquenessViolation(*result.induced);
+  // Step (1): the key-equivalent partition via KEP (cached).
+  result.partition = KeyEquivalentPartition(analysis);
+  // Step (2): D with the blocks' embedded key dependencies. The induced
+  // scheme and its child analysis live in the cache so step (3)'s engines
+  // survive into the next recognition of the same scheme.
+  SchemeAnalysis::Cache& cache = analysis.cache();
+  if (cache.induced == nullptr) {
+    cache.induced = std::make_unique<DatabaseScheme>(
+        InducedScheme(analysis.scheme(), result.partition));
+    cache.induced_analysis =
+        std::make_unique<SchemeAnalysis>(*cache.induced);
+  }
+  result.induced = *cache.induced;
+  // Step (3): the independence test on D (cached in the child).
+  result.violation = FindUniquenessViolation(*cache.induced_analysis);
   result.accepted = !result.violation.has_value();
   return result;
 }
 
+RecognitionResult RecognizeIndependenceReducible(
+    const DatabaseScheme& scheme) {
+  SchemeAnalysis analysis(scheme);
+  return RecognizeIndependenceReducible(analysis);
+}
+
 bool IsIndependenceReducible(const DatabaseScheme& scheme) {
   return RecognizeIndependenceReducible(scheme).accepted;
+}
+
+bool IsIndependenceReducible(SchemeAnalysis& analysis) {
+  return RecognizeIndependenceReducible(analysis).accepted;
 }
 
 }  // namespace ird

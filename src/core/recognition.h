@@ -12,6 +12,7 @@
 
 #include "core/independence.h"
 #include "core/kep.h"
+#include "engine/scheme_analysis.h"
 #include "schema/database_scheme.h"
 
 namespace ird {
@@ -37,8 +38,15 @@ struct RecognitionResult {
 // partition and `induced` the corresponding independent scheme.
 RecognitionResult RecognizeIndependenceReducible(const DatabaseScheme& scheme);
 
-// Convenience predicate.
+// Engine-backed flavor: KEP, the induced scheme (with its own child
+// analysis) and the uniqueness verdict are all cached in the analysis, so
+// repeated recognitions of one scheme build no engine twice and recompute
+// nothing.
+RecognitionResult RecognizeIndependenceReducible(SchemeAnalysis& analysis);
+
+// Convenience predicates.
 bool IsIndependenceReducible(const DatabaseScheme& scheme);
+bool IsIndependenceReducible(SchemeAnalysis& analysis);
 
 }  // namespace ird
 

@@ -3,6 +3,7 @@
 #include <deque>
 #include <numeric>
 #include <unordered_set>
+#include <utility>
 
 #include "obs/obs.h"
 
@@ -18,26 +19,61 @@ std::vector<size_t> PoolOrAll(const DatabaseScheme& scheme,
   return all;
 }
 
-}  // namespace
-
-bool IsKeySplit(const DatabaseScheme& scheme, const AttributeSet& key,
-                const std::vector<size_t>& pool) {
+// The Lemma 3.8 test body: W = pool members not containing K, probed with
+// `closure_of` (so the scheme-only and engine-backed entry points share the
+// logic but not the closure source).
+template <typename ClosureOf>
+bool KeySplitIn(const DatabaseScheme& scheme, const AttributeSet& key,
+                const std::vector<size_t>& p, ClosureOf closure_of) {
   IRD_DCHECK(!key.Empty());
-  std::vector<size_t> p = PoolOrAll(scheme, pool);
   // W = schemes of the pool not containing K; G = their key dependencies.
   std::vector<size_t> w;
   for (size_t i : p) {
     IRD_DCHECK(i < scheme.size());
     if (!key.IsSubsetOf(scheme.relation(i).attrs)) w.push_back(i);
   }
-  FdSet g = scheme.KeyDependenciesOf(w);
   // Lemma 3.8 via BMSU: the row for Wi in CHASE_G(T_W) is all-dv on K iff
   // K ⊆ Closure_G(Wi).
   for (size_t i : w) {
     IRD_COUNT(split.cover_checks);
-    if (key.IsSubsetOf(g.Closure(scheme.relation(i).attrs))) return true;
+    if (key.IsSubsetOf(closure_of(w, scheme.relation(i).attrs))) return true;
   }
   return false;
+}
+
+}  // namespace
+
+bool IsKeySplit(const DatabaseScheme& scheme, const AttributeSet& key,
+                const std::vector<size_t>& pool) {
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  FdSet g;
+  bool built = false;
+  return KeySplitIn(scheme, key, p,
+                    [&](const std::vector<size_t>& w, const AttributeSet& x) {
+                      if (!built) {
+                        g = scheme.KeyDependenciesOf(w);
+                        built = true;
+                      }
+                      return g.Closure(x);
+                    });
+}
+
+bool IsKeySplit(SchemeAnalysis& analysis, const AttributeSet& key,
+                const std::vector<size_t>& pool) {
+  const DatabaseScheme& scheme = analysis.scheme();
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  SchemeAnalysis::Cache& cache = analysis.cache();
+  auto cached = cache.key_split.find({p, key});
+  if (cached != cache.key_split.end()) return cached->second;
+  bool split = KeySplitIn(
+      scheme, key, p,
+      [&](const std::vector<size_t>& w, const AttributeSet& x) {
+        // W is nonempty here (the loop only probes members of W), so the
+        // empty-pool-means-full convention of Closure is never tripped.
+        return analysis.Closure(w, x);
+      });
+  cache.key_split.emplace(std::make_pair(std::move(p), key), split);
+  return split;
 }
 
 bool IsKeySplitInClosureOf(const DatabaseScheme& scheme,
@@ -89,33 +125,57 @@ bool IsKeySplitByDefinition(const DatabaseScheme& scheme,
   return false;
 }
 
+namespace {
+
+// Distinct keys of the pool's schemes, first-declaration order.
+std::vector<AttributeSet> DistinctKeys(const DatabaseScheme& scheme,
+                                       const std::vector<size_t>& p) {
+  std::vector<AttributeSet> distinct;
+  std::unordered_set<AttributeSet, AttributeSetHash> seen;
+  for (size_t i : p) {
+    for (const AttributeSet& key : scheme.relation(i).keys) {
+      if (seen.insert(key).second) distinct.push_back(key);
+    }
+  }
+  return distinct;
+}
+
+}  // namespace
+
 std::vector<AttributeSet> SplitKeys(const DatabaseScheme& scheme,
                                     const std::vector<size_t>& pool) {
   IRD_SPAN("split");
   std::vector<size_t> p = PoolOrAll(scheme, pool);
-  std::vector<AttributeSet> distinct;
-  for (size_t i : p) {
-    for (const AttributeSet& key : scheme.relation(i).keys) {
-      bool known = false;
-      for (const AttributeSet& k : distinct) {
-        if (k == key) {
-          known = true;
-          break;
-        }
-      }
-      if (!known) distinct.push_back(key);
-    }
-  }
   std::vector<AttributeSet> split;
-  for (const AttributeSet& key : distinct) {
+  for (const AttributeSet& key : DistinctKeys(scheme, p)) {
     if (IsKeySplit(scheme, key, p)) split.push_back(key);
   }
   return split;
 }
 
+const std::vector<AttributeSet>& SplitKeys(SchemeAnalysis& analysis,
+                                           const std::vector<size_t>& pool) {
+  const DatabaseScheme& scheme = analysis.scheme();
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  SchemeAnalysis::Cache& cache = analysis.cache();
+  auto cached = cache.split_keys.find(p);
+  if (cached != cache.split_keys.end()) return cached->second;
+  IRD_SPAN("split");
+  std::vector<AttributeSet> split;
+  for (const AttributeSet& key : DistinctKeys(scheme, p)) {
+    if (IsKeySplit(analysis, key, p)) split.push_back(key);
+  }
+  return cache.split_keys.emplace(std::move(p), std::move(split))
+      .first->second;
+}
+
 bool IsSplitFree(const DatabaseScheme& scheme,
                  const std::vector<size_t>& pool) {
   return SplitKeys(scheme, pool).empty();
+}
+
+bool IsSplitFree(SchemeAnalysis& analysis, const std::vector<size_t>& pool) {
+  return SplitKeys(analysis, pool).empty();
 }
 
 }  // namespace ird

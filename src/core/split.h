@@ -7,9 +7,13 @@
 // Two implementations:
 //  * IsKeySplit — the efficient test of Lemma 3.8 (polynomial): K is split
 //    iff some scheme not containing K reaches, via the key dependencies of
-//    the schemes not containing K, a closure that covers K.
+//    the schemes not containing K, a closure that covers K. The
+//    SchemeAnalysis overloads run the W-cover closures through the shared
+//    memoized engines and cache verdicts per (pool, key).
 //  * IsKeySplitByDefinition — exhaustive search over partial computations
 //    of the closures (exponential; for cross-validation on small schemes).
+//    Scheme-only on purpose: it computes no FD closures and the oracle
+//    layer cross-checks against it, so it must stay context-free.
 
 #ifndef IRD_CORE_SPLIT_H_
 #define IRD_CORE_SPLIT_H_
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "base/attribute_set.h"
+#include "engine/scheme_analysis.h"
 #include "schema/database_scheme.h"
 
 namespace ird {
@@ -26,6 +31,8 @@ namespace ird {
 // `pool` restricts R to a subscheme (empty = all); the scheme (sub)set must
 // be key-equivalent for the characterization to be meaningful.
 bool IsKeySplit(const DatabaseScheme& scheme, const AttributeSet& key,
+                const std::vector<size_t>& pool = {});
+bool IsKeySplit(SchemeAnalysis& analysis, const AttributeSet& key,
                 const std::vector<size_t>& pool = {});
 
 // The definitional test restricted to computations of one closure Si+
@@ -44,9 +51,16 @@ bool IsKeySplitByDefinition(const DatabaseScheme& scheme,
 // Keys of the pool's schemes that are split (deduplicated).
 std::vector<AttributeSet> SplitKeys(const DatabaseScheme& scheme,
                                     const std::vector<size_t>& pool = {});
+// Engine-backed flavor: cached per pool in the analysis; the returned
+// reference is valid until the scheme's revision changes.
+const std::vector<AttributeSet>& SplitKeys(SchemeAnalysis& analysis,
+                                           const std::vector<size_t>& pool =
+                                               {});
 
 // True iff no key of the (sub)scheme is split (paper §3.3 "split-free").
 bool IsSplitFree(const DatabaseScheme& scheme,
+                 const std::vector<size_t>& pool = {});
+bool IsSplitFree(SchemeAnalysis& analysis,
                  const std::vector<size_t>& pool = {});
 
 }  // namespace ird

@@ -6,19 +6,13 @@
 
 namespace ird {
 
-ExprPtr BuildKeyEquivalentProjectionExpr(const DatabaseScheme& scheme,
-                                         const std::vector<size_t>& pool,
-                                         const AttributeSet& x) {
-  std::vector<size_t> p = pool;
-  if (p.empty()) {
-    p.resize(scheme.size());
-    std::iota(p.begin(), p.end(), 0);
-  }
-  // Ambient dependencies: the pool's own key dependencies (F_j of the
-  // block, or all of F when the pool is all of R).
-  FdSet ambient = scheme.KeyDependenciesOf(p);
-  std::vector<std::vector<size_t>> subsets =
-      MinimalLosslessSubsetsCovering(scheme, p, x, ambient);
+namespace {
+
+// The Corollary 3.1(b) expression once the lossless covering subsets are
+// known; shared by the scheme-only and engine-backed entry points.
+ExprPtr BuildFromSubsets(const DatabaseScheme& scheme,
+                         const std::vector<std::vector<size_t>>& subsets,
+                         const AttributeSet& x) {
   if (subsets.empty()) return nullptr;
   std::vector<ExprPtr> branches;
   branches.reserve(subsets.size());
@@ -34,9 +28,42 @@ ExprPtr BuildKeyEquivalentProjectionExpr(const DatabaseScheme& scheme,
   return Expression::Union(std::move(branches));
 }
 
-ExprPtr BuildBoundedProjectionExpr(const DatabaseScheme& scheme,
-                                   const RecognitionResult& recognition,
-                                   const AttributeSet& x) {
+std::vector<size_t> PoolOrAll(const DatabaseScheme& scheme,
+                              const std::vector<size_t>& pool) {
+  if (!pool.empty()) return pool;
+  std::vector<size_t> all(scheme.size());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+}  // namespace
+
+ExprPtr BuildKeyEquivalentProjectionExpr(const DatabaseScheme& scheme,
+                                         const std::vector<size_t>& pool,
+                                         const AttributeSet& x) {
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  // Ambient dependencies: the pool's own key dependencies (F_j of the
+  // block, or all of F when the pool is all of R).
+  FdSet ambient = scheme.KeyDependenciesOf(p);
+  return BuildFromSubsets(
+      scheme, MinimalLosslessSubsetsCovering(scheme, p, x, ambient), x);
+}
+
+ExprPtr BuildKeyEquivalentProjectionExpr(SchemeAnalysis& analysis,
+                                         const std::vector<size_t>& pool,
+                                         const AttributeSet& x) {
+  const DatabaseScheme& scheme = analysis.scheme();
+  std::vector<size_t> p = PoolOrAll(scheme, pool);
+  const FdSet& ambient = analysis.CoverOf(p);
+  return BuildFromSubsets(
+      scheme, MinimalLosslessSubsetsCovering(scheme, p, x, ambient), x);
+}
+
+namespace {
+
+template <typename BlockExprOf>
+ExprPtr BoundedExpr(const RecognitionResult& recognition,
+                    const AttributeSet& x, BlockExprOf block_expr_of) {
   IRD_CHECK_MSG(recognition.accepted,
                 "bounded projection requires an accepted recognition");
   const DatabaseScheme& induced = *recognition.induced;
@@ -58,8 +85,7 @@ ExprPtr BuildBoundedProjectionExpr(const DatabaseScheme& scheme,
       AttributeSet yj = induced.relation(j).attrs.Intersect(others);
       // [Y_j] by the block-level expression (Corollary 3.1(b)). The block
       // itself is lossless and covers Y_j, so this is never null.
-      ExprPtr block_expr = BuildKeyEquivalentProjectionExpr(
-          scheme, recognition.partition[j], yj);
+      ExprPtr block_expr = block_expr_of(recognition.partition[j], yj);
       IRD_CHECK(block_expr != nullptr);
       factors.push_back(std::move(block_expr));
     }
@@ -69,16 +95,42 @@ ExprPtr BuildBoundedProjectionExpr(const DatabaseScheme& scheme,
   return Expression::Union(std::move(branches));
 }
 
+}  // namespace
+
+ExprPtr BuildBoundedProjectionExpr(const DatabaseScheme& scheme,
+                                   const RecognitionResult& recognition,
+                                   const AttributeSet& x) {
+  return BoundedExpr(recognition, x,
+                     [&](const std::vector<size_t>& block,
+                         const AttributeSet& yj) {
+                       return BuildKeyEquivalentProjectionExpr(scheme, block,
+                                                               yj);
+                     });
+}
+
+ExprPtr BuildBoundedProjectionExpr(SchemeAnalysis& analysis,
+                                   const RecognitionResult& recognition,
+                                   const AttributeSet& x) {
+  return BoundedExpr(recognition, x,
+                     [&](const std::vector<size_t>& block,
+                         const AttributeSet& yj) {
+                       return BuildKeyEquivalentProjectionExpr(analysis,
+                                                               block, yj);
+                     });
+}
+
 Result<PartialRelation> TotalProjection(const DatabaseState& state,
                                         const AttributeSet& x) {
-  RecognitionResult recognition =
-      RecognizeIndependenceReducible(state.scheme());
+  SchemeAnalysis analysis(state.scheme());
+  RecognitionResult recognition = RecognizeIndependenceReducible(analysis);
   if (!recognition.accepted) {
     return FailedPrecondition(
         "scheme is not independence-reducible: " +
         recognition.violation->ToString(*recognition.induced));
   }
-  return TotalProjection(state, recognition, x);
+  ExprPtr expr = BuildBoundedProjectionExpr(analysis, recognition, x);
+  if (expr == nullptr) return PartialRelation(x);
+  return Evaluate(*expr, state);
 }
 
 PartialRelation TotalProjection(const DatabaseState& state,

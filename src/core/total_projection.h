@@ -20,6 +20,7 @@
 
 #include "algebra/expression.h"
 #include "core/recognition.h"
+#include "engine/scheme_analysis.h"
 #include "relation/database_state.h"
 
 namespace ird {
@@ -30,11 +31,19 @@ namespace ird {
 ExprPtr BuildKeyEquivalentProjectionExpr(const DatabaseScheme& scheme,
                                          const std::vector<size_t>& pool,
                                          const AttributeSet& x);
+// Engine-backed flavor: the pool's ambient cover comes interned from the
+// analysis instead of being rebuilt per call.
+ExprPtr BuildKeyEquivalentProjectionExpr(SchemeAnalysis& analysis,
+                                         const std::vector<size_t>& pool,
+                                         const AttributeSet& x);
 
 // Theorem 4.1: the expression computing [X] on an independence-reducible
 // scheme, given an accepted recognition result. Returns nullptr when no
 // lossless subset of D covers X (then [X] is empty).
 ExprPtr BuildBoundedProjectionExpr(const DatabaseScheme& scheme,
+                                   const RecognitionResult& recognition,
+                                   const AttributeSet& x);
+ExprPtr BuildBoundedProjectionExpr(SchemeAnalysis& analysis,
                                    const RecognitionResult& recognition,
                                    const AttributeSet& x);
 

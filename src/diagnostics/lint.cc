@@ -87,8 +87,8 @@ void CheckDuplicates(const DatabaseScheme& scheme,
   }
 }
 
-void CheckKeys(const DatabaseScheme& scheme, std::vector<Diagnostic>* out) {
-  const FdSet& f = scheme.key_dependencies();
+void CheckKeys(SchemeAnalysis& analysis, std::vector<Diagnostic>* out) {
+  const DatabaseScheme& scheme = analysis.scheme();
   for (size_t i = 0; i < scheme.size(); ++i) {
     const RelationScheme& r = scheme.relation(i);
     for (size_t k = 0; k < r.keys.size(); ++k) {
@@ -115,7 +115,7 @@ void CheckKeys(const DatabaseScheme& scheme, std::vector<Diagnostic>* out) {
         if (!reducible.Empty()) return;
         AttributeSet smaller = key;
         smaller.Remove(a);
-        if (!smaller.Empty() && f.Implies(smaller, r.attrs)) {
+        if (!smaller.Empty() && analysis.FullImplies(smaller, r.attrs)) {
           reducible = smaller;
         }
       });
@@ -163,16 +163,21 @@ void CheckKeyEquivalence(const DatabaseScheme& scheme,
 // The Lemma 3.8 covering sequence for a key known to be split in `pool`:
 // a partial computation over W = {Rp ∈ pool : key ⊄ Rp} whose union covers
 // the key.
-std::vector<size_t> CoveringSequence(const DatabaseScheme& scheme,
+std::vector<size_t> CoveringSequence(SchemeAnalysis& analysis,
                                      const AttributeSet& key,
                                      const std::vector<size_t>& pool) {
+  const DatabaseScheme& scheme = analysis.scheme();
   std::vector<size_t> w;
   for (size_t i : pool) {
     if (!key.IsSubsetOf(scheme.relation(i).attrs)) w.push_back(i);
   }
-  FdSet g = scheme.KeyDependenciesOf(w);
+  // A split key has a nonempty W (its covering fragments), so the pool
+  // passed to the memoized closure is never empty.
+  IRD_DCHECK(!w.empty());
   for (size_t start : w) {
-    if (!key.IsSubsetOf(g.Closure(scheme.relation(start).attrs))) continue;
+    if (!key.IsSubsetOf(analysis.Closure(w, scheme.relation(start).attrs))) {
+      continue;
+    }
     std::vector<size_t> covering = {start};
     AttributeSet covered = scheme.relation(start).attrs;
     for (const ClosureStep& step :
@@ -189,12 +194,13 @@ std::vector<size_t> CoveringSequence(const DatabaseScheme& scheme,
   return {};
 }
 
-void CheckSplitKeys(const DatabaseScheme& scheme,
+void CheckSplitKeys(SchemeAnalysis& analysis,
                     const std::vector<std::vector<size_t>>& partition,
                     const LintOptions& options,
                     std::vector<Diagnostic>* out) {
+  const DatabaseScheme& scheme = analysis.scheme();
   for (const std::vector<size_t>& block : partition) {
-    for (const AttributeSet& key : SplitKeys(scheme, block)) {
+    for (const AttributeSet& key : SplitKeys(analysis, block)) {
       SplitKeyWitness w;
       w.key = key;
       w.pool = block;
@@ -217,7 +223,7 @@ void CheckSplitKeys(const DatabaseScheme& scheme,
         }
       }
       if (w.covering.empty()) {
-        w.covering = CoveringSequence(scheme, key, block);
+        w.covering = CoveringSequence(analysis, key, block);
       }
       std::string covering_names;
       for (size_t k = 0; k < w.covering.size(); ++k) {
@@ -282,10 +288,13 @@ void CheckGammaCycle(const DatabaseScheme& scheme, const LintOptions& options,
                       std::move(rels), std::move(w)));
 }
 
-void CheckEmbeddedCover(const DatabaseScheme& scheme,
+void CheckEmbeddedCover(SchemeAnalysis& analysis,
                         const LintOptions& options,
                         std::vector<Diagnostic>* out) {
-  const FdSet& f = scheme.key_dependencies();
+  const DatabaseScheme& scheme = analysis.scheme();
+  // Raw engine: the 2^k subset probes are all distinct, so memoizing them
+  // would only bloat the closure memo.
+  const ClosureEngine& f = analysis.EngineFor({});
   for (size_t i = 0; i < scheme.size(); ++i) {
     const RelationScheme& r = scheme.relation(i);
     if (r.attrs.Count() > options.max_cover_attrs) continue;
@@ -322,10 +331,10 @@ void CheckEmbeddedCover(const DatabaseScheme& scheme,
   }
 }
 
-void CheckReachability(const DatabaseScheme& scheme,
+void CheckReachability(SchemeAnalysis& analysis,
                        std::vector<Diagnostic>* out) {
+  const DatabaseScheme& scheme = analysis.scheme();
   if (scheme.size() < 2) return;
-  ClosureEngine engine(scheme.key_dependencies());
   scheme.AllAttrs().ForEach([&](AttributeId a) {
     std::vector<size_t> outside;
     for (size_t i = 0; i < scheme.size(); ++i) {
@@ -333,7 +342,7 @@ void CheckReachability(const DatabaseScheme& scheme,
     }
     if (outside.empty()) return;
     for (size_t i : outside) {
-      if (engine.Closure(scheme.relation(i).attrs).Contains(a)) return;
+      if (analysis.FullClosure(scheme.relation(i).attrs).Contains(a)) return;
     }
     out->push_back(Make(
         RuleId::kUnreachableAttribute,
@@ -355,21 +364,28 @@ size_t LintReport::CountSeverity(Severity severity) const {
   return n;
 }
 
-LintReport LintScheme(const DatabaseScheme& scheme,
-                      const LintOptions& options) {
+LintReport LintScheme(SchemeAnalysis& analysis, const LintOptions& options) {
+  const DatabaseScheme& scheme = analysis.scheme();
   LintReport report;
   if (scheme.size() == 0) return report;
   CheckCoverage(scheme, &report.diagnostics);
   CheckDuplicates(scheme, &report.diagnostics);
-  CheckKeys(scheme, &report.diagnostics);
+  CheckKeys(analysis, &report.diagnostics);
   CheckKeyEquivalence(scheme, &report.diagnostics);
-  RecognitionResult recognition = RecognizeIndependenceReducible(scheme);
-  CheckSplitKeys(scheme, recognition.partition, options, &report.diagnostics);
+  RecognitionResult recognition = RecognizeIndependenceReducible(analysis);
+  CheckSplitKeys(analysis, recognition.partition, options,
+                 &report.diagnostics);
   CheckRecognition(recognition, &report.diagnostics);
   CheckGammaCycle(scheme, options, &report.diagnostics);
-  CheckEmbeddedCover(scheme, options, &report.diagnostics);
-  CheckReachability(scheme, &report.diagnostics);
+  CheckEmbeddedCover(analysis, options, &report.diagnostics);
+  CheckReachability(analysis, &report.diagnostics);
   return report;
+}
+
+LintReport LintScheme(const DatabaseScheme& scheme,
+                      const LintOptions& options) {
+  SchemeAnalysis analysis(scheme);
+  return LintScheme(analysis, options);
 }
 
 }  // namespace ird::diagnostics

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "diagnostics/diagnostic.h"
+#include "engine/scheme_analysis.h"
 #include "schema/database_scheme.h"
 
 namespace ird::diagnostics {
@@ -36,6 +37,13 @@ struct LintReport {
 // DatabaseScheme::AddRelation admits), valid or not; semantically invalid
 // schemes simply earn error diagnostics.
 LintReport LintScheme(const DatabaseScheme& scheme,
+                      const LintOptions& options = {});
+
+// Engine-backed flavor: key minimality, recognition, split keys and
+// reachability all go through the analysis's interned covers and closure
+// memos, so linting after (or before) other analysis work on the same
+// context pays for each engine once.
+LintReport LintScheme(SchemeAnalysis& analysis,
                       const LintOptions& options = {});
 
 }  // namespace ird::diagnostics

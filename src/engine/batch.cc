@@ -1,0 +1,92 @@
+#include "engine/batch.h"
+
+#include "obs/obs.h"
+
+namespace ird {
+
+BatchAnalyzer::BatchAnalyzer(size_t jobs) {
+  if (jobs <= 1) return;
+  workers_.reserve(jobs - 1);
+  for (size_t i = 0; i + 1 < jobs; ++i) {
+    workers_.emplace_back([this] { Worker(); });
+  }
+}
+
+BatchAnalyzer::~BatchAnalyzer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void BatchAnalyzer::Worker() {
+  uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    const std::function<void(size_t)>* fn = fn_;
+    const size_t count = count_;
+    // active_workers_ keeps the batch open until this worker has left its
+    // drain loop — ForEachIndex must not return (and a new batch must not
+    // reuse fn_/count_) while any worker may still claim an index.
+    ++active_workers_;
+    lock.unlock();
+    size_t processed = 0;
+    for (size_t i; (i = next_.fetch_add(1, std::memory_order_relaxed)) <
+                   count;) {
+      (*fn)(i);
+      ++processed;
+    }
+    lock.lock();
+    done_ += processed;
+    --active_workers_;
+    if (done_ == count_ && active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void BatchAnalyzer::ForEachIndex(size_t count,
+                                 const std::function<void(size_t)>& fn) {
+  IRD_SPAN("engine.batch");
+  IRD_COUNT_ADD(engine.batch.tasks, count);
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    done_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is the final worker of the batch.
+  size_t processed = 0;
+  for (size_t i;
+       (i = next_.fetch_add(1, std::memory_order_relaxed)) < count;) {
+    fn(i);
+    ++processed;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_ += processed;
+  done_cv_.wait(lock,
+                [&] { return done_ == count_ && active_workers_ == 0; });
+  fn_ = nullptr;
+}
+
+void BatchAnalyzer::AnalyzeEach(
+    const std::vector<const DatabaseScheme*>& schemes,
+    const std::function<void(size_t, SchemeAnalysis&)>& fn) {
+  ForEachIndex(schemes.size(), [&](size_t i) {
+    SchemeAnalysis analysis(*schemes[i]);
+    fn(i, analysis);
+  });
+}
+
+}  // namespace ird

@@ -1,0 +1,76 @@
+// BatchAnalyzer: a fixed thread pool with an indexed work queue, for
+// corpus-scale fan-out of scheme analysis (ird_lint --jobs, ird_stats
+// --anchors --jobs, fuzz_driver --jobs).
+//
+// The concurrency model keeps the single-threaded invariants of the rest
+// of the engine intact:
+//   * work is handed out as indices into the caller's input list, one
+//     index to exactly one worker, so each DatabaseScheme / SchemeAnalysis
+//     is touched by a single thread (neither object is thread-safe);
+//   * callers collect results into pre-sized slots indexed by input
+//     position, then render serially after ForEachIndex returns — output
+//     is input-ordered and byte-identical regardless of the job count;
+//   * the only cross-thread state the payload touches is the obs registry
+//     (relaxed atomics, thread-safe by design).
+//
+// ForEachIndex blocks until every index has run. Payloads must not throw.
+
+#ifndef IRD_ENGINE_BATCH_H_
+#define IRD_ENGINE_BATCH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/scheme_analysis.h"
+
+namespace ird {
+
+class BatchAnalyzer {
+ public:
+  // Spawns jobs-1 persistent workers; the calling thread is the jobs-th
+  // worker during ForEachIndex. jobs <= 1 spawns nothing and runs every
+  // batch inline (no threads, no synchronization).
+  explicit BatchAnalyzer(size_t jobs);
+  ~BatchAnalyzer();
+
+  BatchAnalyzer(const BatchAnalyzer&) = delete;
+  BatchAnalyzer& operator=(const BatchAnalyzer&) = delete;
+
+  size_t jobs() const { return workers_.size() + 1; }
+
+  // Runs fn(i) exactly once for every i in [0, count), distributed over
+  // the pool, and blocks until all of them finished. Not reentrant: one
+  // batch at a time per analyzer.
+  void ForEachIndex(size_t count, const std::function<void(size_t)>& fn);
+
+  // Convenience: one fresh SchemeAnalysis per scheme, built and consumed
+  // on whichever worker claims the index.
+  void AnalyzeEach(const std::vector<const DatabaseScheme*>& schemes,
+                   const std::function<void(size_t, SchemeAnalysis&)>& fn);
+
+ private:
+  void Worker();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Batch state, guarded by mu_ except for the atomic cursor.
+  uint64_t generation_ = 0;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t count_ = 0;
+  size_t done_ = 0;
+  size_t active_workers_ = 0;
+  bool shutdown_ = false;
+  std::atomic<size_t> next_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ird
+
+#endif  // IRD_ENGINE_BATCH_H_

@@ -17,6 +17,7 @@
 #include "core/representative_index.h"
 #include "core/split.h"
 #include "core/total_projection.h"
+#include "engine/scheme_analysis.h"
 #include "oracle/naive_chase.h"
 #include "oracle/naive_independence.h"
 #include "oracle/naive_kep.h"
@@ -43,6 +44,32 @@ std::string PartitionToString(const DatabaseScheme& scheme,
     out += "}";
   }
   return out;
+}
+
+bool SameInduced(const std::optional<DatabaseScheme>& a,
+                 const std::optional<DatabaseScheme>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  if (a->size() != b->size()) return false;
+  for (size_t i = 0; i < a->size(); ++i) {
+    if (a->relation(i).attrs != b->relation(i).attrs ||
+        a->relation(i).keys != b->relation(i).keys) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameRecognition(const RecognitionResult& a, const RecognitionResult& b) {
+  if (a.accepted != b.accepted || a.partition != b.partition) return false;
+  if (a.violation.has_value() != b.violation.has_value()) return false;
+  if (a.violation.has_value() &&
+      (a.violation->i != b.violation->i || a.violation->j != b.violation->j ||
+       a.violation->key != b.violation->key ||
+       a.violation->attribute != b.violation->attribute)) {
+    return false;
+  }
+  return SameInduced(a.induced, b.induced);
 }
 
 class Comparator {
@@ -153,6 +180,26 @@ class Comparator {
       Expect(IsIndependentOracle(*recognition.induced),
              "recognition/induced",
              "accepted induced scheme is not independent by the oracle");
+    }
+
+    // Engine determinism: a SchemeAnalysis-backed recognition — cold (fresh
+    // caches) and warm (every slot, cover and memo already filled) — must
+    // reproduce the wrapper's result bit for bit, and the memoized split
+    // keys must match the per-call computation. The oracle layer itself
+    // deliberately never adopts the shared context (see docs/TESTING.md);
+    // these checks are the bridge that keeps the memoized engine honest.
+    {
+      SchemeAnalysis analysis(scheme_);
+      RecognitionResult cold = RecognizeIndependenceReducible(analysis);
+      Expect(SameRecognition(cold, recognition), "engine/recognition",
+             "SchemeAnalysis-backed recognition disagrees with the "
+             "scheme-level wrapper");
+      RecognitionResult warm = RecognizeIndependenceReducible(analysis);
+      Expect(SameRecognition(warm, cold), "engine/recognition-cached",
+             "fully cached recognition differs from the cold run on the "
+             "same analysis");
+      Expect(SplitKeys(analysis) == SplitKeys(scheme_), "engine/split-keys",
+             "memoized split keys disagree with the per-call computation");
     }
 
     // Classification flags vs the oracle-assembled report.

@@ -27,6 +27,7 @@ size_t DatabaseScheme::AddRelation(RelationScheme scheme) {
   }
   relations_.push_back(std::move(scheme));
   cache_valid_ = false;
+  ++revision_;
   return relations_.size() - 1;
 }
 

@@ -59,6 +59,21 @@ class DatabaseScheme {
   }
   const std::vector<RelationScheme>& relations() const { return relations_; }
 
+  // Mutable access to a relation scheme, for in-place edits (key mutation
+  // tooling, tests). Conservatively counts as a mutation: bumps the
+  // revision and invalidates the FD cache even if the caller only reads.
+  RelationScheme& mutable_relation(size_t i) {
+    IRD_CHECK(i < relations_.size());
+    cache_valid_ = false;
+    ++revision_;
+    return relations_[i];
+  }
+
+  // Monotone mutation counter: bumped by AddRelation and mutable_relation.
+  // SchemeAnalysis (src/engine) keys its caches on this to detect staleness
+  // without observing the scheme's contents.
+  uint64_t revision() const { return revision_; }
+
   // Index of the relation named `name`.
   Result<size_t> FindRelation(std::string_view name) const;
 
@@ -105,6 +120,7 @@ class DatabaseScheme {
  private:
   std::shared_ptr<Universe> universe_;
   std::vector<RelationScheme> relations_;
+  uint64_t revision_ = 0;
   // Lazily built cache of key_dependencies().
   mutable FdSet cached_fds_;
   mutable bool cache_valid_ = false;

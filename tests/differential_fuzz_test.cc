@@ -16,11 +16,18 @@
 #include <string>
 #include <vector>
 
+#include "core/recognition.h"
+#include "core/split.h"
 #include "diagnostics/verify.h"
+#include "engine/scheme_analysis.h"
 #include "gtest/gtest.h"
 #include "oracle/corpus.h"
 #include "oracle/differential.h"
 #include "oracle/mutate.h"
+#include "oracle/naive_independence.h"
+#include "oracle/naive_kep.h"
+#include "oracle/naive_recognition.h"
+#include "oracle/naive_split.h"
 #include "oracle/shrink.h"
 #include "workload/generators.h"
 
@@ -161,6 +168,51 @@ class DifferentialFuzz : public ::testing::Test {
     EXPECT_GE(tested, count / 2) << family.name;
   }
 };
+
+// SchemeAnalysis-backed recognition against the definition-literal oracles
+// directly. The family sweeps above also reach the shared context (via the
+// engine/* routines of CompareAgainstOracles and via the refactored
+// scheme-level wrappers), but this pins the memoized pipeline to the
+// oracles without any wrapper in between — cold, and again warm when every
+// cover, memo and verdict slot is already filled.
+TEST(EngineVsOracle, RecognitionMatchesNaiveOracles) {
+  const uint64_t seed = EnvOr("IRD_FUZZ_SEED", 20260806);
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  size_t compared = 0;
+  for (size_t i = 0; i < 60; ++i) {
+    RandomSchemeOptions opt;
+    opt.universe_size = 5 + rng() % 3;
+    opt.relations = 3 + rng() % 3;
+    opt.min_arity = 2;
+    opt.max_arity = 3;
+    opt.multi_key_prob = (rng() % 2) * 0.4;
+    opt.seed = rng();
+    DatabaseScheme scheme = MakeRandomScheme(opt);
+    if (!scheme.Validate().ok()) continue;
+    ++compared;
+
+    SchemeAnalysis analysis(scheme);
+    RecognitionResult cold = RecognizeIndependenceReducible(analysis);
+    EXPECT_EQ(cold.accepted, IsIndependenceReducibleOracle(scheme))
+        << "scheme " << i;
+    EXPECT_EQ(cold.partition, MaximalKeyEquivalentSubsets(scheme))
+        << "scheme " << i;
+    if (cold.accepted) {
+      EXPECT_TRUE(IsIndependentOracle(*cold.induced)) << "scheme " << i;
+    }
+    for (const auto& [rel, key] : scheme.AllKeys()) {
+      EXPECT_EQ(IsKeySplit(analysis, key), IsKeySplitOracle(scheme, key))
+          << "scheme " << i << " key of relation " << rel;
+    }
+
+    RecognitionResult warm = RecognizeIndependenceReducible(analysis);
+    EXPECT_EQ(warm.accepted, cold.accepted) << "scheme " << i;
+    EXPECT_EQ(warm.partition, cold.partition) << "scheme " << i;
+    EXPECT_EQ(warm.violation.has_value(), cold.violation.has_value())
+        << "scheme " << i;
+  }
+  EXPECT_GE(compared, 30u);
+}
 
 TEST_F(DifferentialFuzz, Chain) { RunFamily(kFamilies[0]); }
 TEST_F(DifferentialFuzz, Split) { RunFamily(kFamilies[1]); }

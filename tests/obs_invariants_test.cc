@@ -13,6 +13,7 @@
 
 #include "core/kep.h"
 #include "core/recognition.h"
+#include "engine/scheme_analysis.h"
 #include "obs/export.h"
 #include "tableau/chase.h"
 #include "tests/test_util.h"
@@ -110,6 +111,30 @@ TEST(ObsInvariantsTest, IndependenceTestsQuadraticallyBounded) {
         [&] { (void)RecognizeIndependenceReducible(example.scheme); });
     EXPECT_LE(DeltaOf(delta, "recognition.independence_tests"), n * (n - 1))
         << example.name;
+  }
+}
+
+// The engine layer's tentpole invariant: recognizing one scheme through a
+// shared SchemeAnalysis constructs each ClosureEngine at most once. The
+// cold run builds at least the full-cover engine; the warm repeat on the
+// same analysis builds nothing, misses no memo entry and recomputes no
+// closure — every answer is served from the caches.
+TEST(ObsInvariantsTest, RepeatRecognitionBuildsNoEngine) {
+  IRD_REQUIRE_OBS();
+  for (const NamedScheme& example : PaperExamples()) {
+    SchemeAnalysis analysis(example.scheme);
+    obs::Snapshot cold = Measure(
+        [&] { (void)RecognizeIndependenceReducible(analysis); });
+    EXPECT_GT(DeltaOf(cold, "engine.closure_engine.builds"), 0u)
+        << example.name;
+    obs::Snapshot warm = Measure(
+        [&] { (void)RecognizeIndependenceReducible(analysis); });
+    EXPECT_EQ(DeltaOf(warm, "engine.closure_engine.builds"), 0u)
+        << example.name;
+    EXPECT_EQ(DeltaOf(warm, "engine.closure_memo.misses"), 0u)
+        << example.name;
+    EXPECT_EQ(DeltaOf(warm, "closure.computations"), 0u) << example.name;
+    EXPECT_EQ(DeltaOf(warm, "engine.invalidations"), 0u) << example.name;
   }
 }
 
