@@ -34,6 +34,7 @@
 #include "diagnostics/verify.h"
 #include "engine/batch.h"
 #include "obs/export.h"
+#include "oracle/chase_check.h"
 #include "oracle/corpus.h"
 #include "oracle/differential.h"
 #include "oracle/mutate.h"
@@ -128,6 +129,7 @@ struct Candidate {
   DatabaseScheme scheme;
   // Filled by the comparison phase:
   Status lint_status;
+  Status chase_status;
   std::vector<Disagreement> found;
   // Shrunk (or original) scheme, engaged iff found is nonempty.
   std::optional<DatabaseScheme> repro;
@@ -157,7 +159,7 @@ int Run(const Args& args) {
         continue;
       }
       ++family_tested[f];
-      candidates.push_back(Candidate{f, i, std::move(scheme)});
+      candidates.push_back(Candidate{f, i, std::move(scheme), {}, {}, {}, {}});
     }
   }
 
@@ -173,6 +175,9 @@ int Run(const Args& args) {
       // witness it emits must pass the independent verifier. A failure is
       // triaged exactly like an oracle disagreement.
       cand.lint_status = diagnostics::LintSelfCheck(cand.scheme);
+      // Chase self-check: the delta-driven, pass-based and exhaustive
+      // pairwise chases must agree on the candidate's tableaux.
+      cand.chase_status = ChaseSelfCheck(cand.scheme, args.seed + cand.iter);
       DifferentialOptions opt;
       opt.seed = args.seed + cand.iter;
       cand.found = CompareAgainstOracles(cand.scheme, opt);
@@ -220,6 +225,26 @@ int Run(const Args& args) {
                        written.ToString().c_str());
         }
       }
+      if (!cand.chase_status.ok()) {
+        ++disagreements;
+        std::fprintf(stderr, "[%s/%zu] tableau/chase-self-check: %s\n",
+                     family.name, i, cand.chase_status.ToString().c_str());
+        std::string name = std::string("tableau-chase-self-check-") +
+                           family.name + "-s" + std::to_string(args.seed) +
+                           "-" + std::to_string(i);
+        Status written = WriteCorpusFile(
+            args.corpus, name, cand.scheme,
+            {"routine: tableau/chase-self-check",
+             "detail: " + cand.chase_status.ToString(),
+             "found by: fuzz_driver, " + std::string(family.name) +
+                 " family, seed " + std::to_string(args.seed) +
+                 ", iteration " + std::to_string(i),
+             CounterHeaderLine(cand.scheme, DifferentialOptions{})});
+        if (!written.ok()) {
+          std::fprintf(stderr, "corpus write failed: %s\n",
+                       written.ToString().c_str());
+        }
+      }
       if (cand.found.empty()) continue;
       ++disagreements;
       const Disagreement& first = cand.found[0];
@@ -250,7 +275,7 @@ int Run(const Args& args) {
   std::fprintf(stderr,
                "done: %zu schemes tested, %zu skipped, %zu disagreements\n",
                total, skipped, disagreements);
-  // Per-campaign engine accounting: what the sweep cost in chase steps,
+  // Per-campaign engine accounting: what the sweep cost in chase probes,
   // closure work and oracle comparisons, and where the time went.
   std::fprintf(stderr, "=== campaign instrumentation summary ===\n%s",
                obs::RenderText(obs::TakeSnapshot()).c_str());

@@ -7,7 +7,7 @@
 // where counters/spans_us are the workload's *delta* over the obs
 // registries (obs/export.h). The full run doubles as a liveness gate for
 // the instrumentation itself: --check fails if any counter a healthy
-// engine must bump (chase.steps, closure.iterations, kep.rounds,
+// engine must bump (chase.reprobes, closure.iterations, kep.rounds,
 // recognition.independence_tests, ...) stayed zero — catching silently
 // dead instrumentation in CI.
 //
@@ -289,7 +289,9 @@ std::string RenderRecords(const std::vector<WorkloadRecord>& records) {
 // Counters a healthy full run must bump; a zero means the instrumentation
 // site is dead (or the workload stopped reaching the engine).
 constexpr const char* kRequiredCounters[] = {
-    "chase.steps",          "chase.invocations",
+    "chase.seed_probes",    "chase.reprobes",
+    "chase.invocations",    "chase.equates",
+    "chase.index_repairs",  "chase.worklist_max",
     "closure.computations", "closure.iterations",
     "kep.rounds",           "split.cover_checks",
     "recognition.independence_tests", "tableau.rows_materialized",

@@ -1,7 +1,5 @@
 #include "fd/closure_engine.h"
 
-#include <deque>
-
 #include "obs/obs.h"
 
 namespace ird {
@@ -33,8 +31,10 @@ AttributeSet ClosureEngine::Closure(const AttributeSet& x) const {
     missing_[i] = fds_[i].lhs_size;
   }
   AttributeSet closure = x;
-  std::deque<AttributeId> queue;
-  closure.ForEach([&](AttributeId a) { queue.push_back(a); });
+  // LIFO processing order; closures are order-independent, so a reused
+  // member stack beats a per-call deque (no allocation in steady state).
+  stack_.clear();
+  closure.ForEach([&](AttributeId a) { stack_.push_back(a); });
   // FDs with empty left sides fire immediately.
   for (size_t i = 0; i < fds_.size(); ++i) {
     if (missing_[i] == 0) {
@@ -42,14 +42,14 @@ AttributeSet ClosureEngine::Closure(const AttributeSet& x) const {
       fds_[i].rhs.ForEach([&](AttributeId a) {
         if (!closure.Contains(a)) {
           closure.Add(a);
-          queue.push_back(a);
+          stack_.push_back(a);
         }
       });
     }
   }
-  while (!queue.empty()) {
-    AttributeId a = queue.front();
-    queue.pop_front();
+  while (!stack_.empty()) {
+    AttributeId a = stack_.back();
+    stack_.pop_back();
     if (a >= by_attr_.size()) continue;
     for (uint32_t id : by_attr_[a]) {
       if (missing_[id] == 0) continue;
@@ -58,7 +58,7 @@ AttributeSet ClosureEngine::Closure(const AttributeSet& x) const {
         fds_[id].rhs.ForEach([&](AttributeId b) {
           if (!closure.Contains(b)) {
             closure.Add(b);
-            queue.push_back(b);
+            stack_.push_back(b);
           }
         });
       }

@@ -38,8 +38,11 @@ class ClosureEngine {
   std::vector<IndexedFd> fds_;
   // For each attribute, the FDs whose left side contains it.
   std::vector<std::vector<uint32_t>> by_attr_;
-  // Scratch counters, reused across calls (sized on first use).
+  // Scratch state, reused across calls (sized on first use): per-FD
+  // unsatisfied-lhs counters and the attribute work stack. Steady-state
+  // Closure() calls allocate nothing.
   mutable std::vector<uint32_t> missing_;
+  mutable std::vector<AttributeId> stack_;
 };
 
 }  // namespace ird

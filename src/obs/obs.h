@@ -1,6 +1,6 @@
 // Engine instrumentation entry points. Usage:
 //
-//   IRD_COUNT(chase.steps);              // +1 on the named counter
+//   IRD_COUNT(chase.reprobes);           // +1 on the named counter
 //   IRD_COUNT_ADD(tableau.rows, n);      // +n
 //   IRD_SPAN("kep");                     // RAII span over the current scope
 //

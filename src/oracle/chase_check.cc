@@ -1,0 +1,117 @@
+#include "oracle/chase_check.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "oracle/naive_chase.h"
+#include "oracle/pass_chase.h"
+#include "relation/weak_instance.h"
+#include "tableau/chase.h"
+#include "workload/generators.h"
+
+namespace ird::oracle {
+
+namespace {
+
+// Chases three copies of `base` — incremental, pass-based, exhaustive — and
+// compares verdicts, rule-application counts, and final canonical tableaux.
+// All three copies share symbol birth order (they are copies of one
+// tableau), and the merge precedence of Tableau::Equate picks a canonical
+// root per class independent of merge order, so on consistent inputs the
+// ToString renderings must be bytewise equal.
+Status CompareOnTableau(const Tableau& base, const FdSet& fds,
+                        const Universe& universe, const std::string& what) {
+  Tableau incremental = base;
+  Tableau pass = base;
+  Tableau naive = base;
+  ChaseStats inc_stats = ChaseFds(&incremental, fds);
+  ChaseStats pass_stats = PassChaseFds(&pass, fds);
+  bool naive_consistent = NaiveChase(&naive, fds);
+
+  if (inc_stats.consistent != pass_stats.consistent) {
+    return Inconsistent(what + ": delta-driven chase says " +
+                        (inc_stats.consistent ? "consistent" : "inconsistent") +
+                        " but the pass-based chase disagrees");
+  }
+  if (inc_stats.consistent != naive_consistent) {
+    return Inconsistent(what + ": delta-driven chase says " +
+                        (inc_stats.consistent ? "consistent" : "inconsistent") +
+                        " but the exhaustive pairwise chase disagrees");
+  }
+  if (!inc_stats.consistent) return OkStatus();
+
+  // Rule applications equal the number of symbol classes collapsed, which
+  // is rule-order-independent on consistent inputs.
+  if (inc_stats.rule_applications != pass_stats.rule_applications) {
+    return Inconsistent(
+        what + ": rule applications diverge (delta-driven " +
+        std::to_string(inc_stats.rule_applications) + ", pass-based " +
+        std::to_string(pass_stats.rule_applications) + ")");
+  }
+
+  naive.Canonicalize();
+  std::string inc_text = incremental.ToString(universe);
+  if (inc_text != pass.ToString(universe)) {
+    return Inconsistent(what +
+                        ": final tableau diverges between the delta-driven "
+                        "and pass-based chases");
+  }
+  if (inc_text != naive.ToString(universe)) {
+    return Inconsistent(what +
+                        ": final tableau diverges between the delta-driven "
+                        "and exhaustive pairwise chases");
+  }
+  return OkStatus();
+}
+
+// A small random state (possibly inconsistent): values from a tiny domain
+// so key collisions — and therefore genuine merge cascades and
+// inconsistency early-returns — are common.
+DatabaseState MakeNoisyState(const DatabaseScheme& scheme, size_t tuples,
+                             uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  DatabaseState state(scheme);
+  for (size_t n = 0; n < tuples; ++n) {
+    size_t rel = rng() % scheme.size();
+    const AttributeSet& attrs = scheme.relation(rel).attrs;
+    std::vector<Value> values;
+    for (size_t i = 0; i < attrs.Count(); ++i) {
+      values.push_back(static_cast<Value>(rng() % 4 + 1));
+    }
+    state.mutable_relation(rel).AddUnique(
+        PartialTuple(attrs, std::move(values)));
+  }
+  return state;
+}
+
+}  // namespace
+
+Status ChaseSelfCheck(const DatabaseScheme& scheme, uint64_t seed) {
+  const FdSet& fds = scheme.key_dependencies();
+  const Universe& universe = scheme.universe();
+
+  Status s = CompareOnTableau(SchemeTableau(scheme), fds, universe,
+                              "scheme tableau");
+  if (!s.ok()) return s;
+
+  StateGenOptions consistent_opt;
+  consistent_opt.entities = 5;
+  consistent_opt.coverage = 0.7;
+  consistent_opt.seed = seed;
+  s = CompareOnTableau(
+      StateTableau(MakeConsistentState(scheme, consistent_opt)), fds, universe,
+      "consistent-state tableau");
+  if (!s.ok()) return s;
+
+  for (uint64_t round = 0; round < 4; ++round) {
+    DatabaseState noisy = MakeNoisyState(scheme, 10, seed * 4 + round);
+    s = CompareOnTableau(StateTableau(noisy), fds, universe,
+                         "noisy-state tableau (round " +
+                             std::to_string(round) + ")");
+    if (!s.ok()) return s;
+  }
+  return OkStatus();
+}
+
+}  // namespace ird::oracle

@@ -1,0 +1,27 @@
+// Three-way chase cross-check: the delta-driven ChaseFds (tableau/chase.h),
+// the retired pass-based PassChaseFds (oracle/pass_chase.h), and the
+// exhaustive pairwise NaiveChase (oracle/naive_chase.h) run on the same
+// tableaux and must agree on the final canonical tableau, the consistency
+// verdict, and (between the two bucketed engines, on consistent inputs) the
+// rule-application count. This is the fuzz hook behind the
+// `tableau/chase-vs-naive` differential routine.
+
+#ifndef IRD_ORACLE_CHASE_CHECK_H_
+#define IRD_ORACLE_CHASE_CHECK_H_
+
+#include <cstdint>
+
+#include "base/status.h"
+#include "schema/database_scheme.h"
+
+namespace ird::oracle {
+
+// Chases the scheme tableau T_R, a generated consistent state, and a batch
+// of noisy (often inconsistent) states of `scheme` with all three
+// implementations. OK iff every comparison agrees; otherwise the message
+// names the tableau and the first divergence.
+Status ChaseSelfCheck(const DatabaseScheme& scheme, uint64_t seed);
+
+}  // namespace ird::oracle
+
+#endif  // IRD_ORACLE_CHASE_CHECK_H_

@@ -18,6 +18,7 @@
 #include "core/split.h"
 #include "core/total_projection.h"
 #include "engine/scheme_analysis.h"
+#include "oracle/chase_check.h"
 #include "oracle/naive_chase.h"
 #include "oracle/naive_independence.h"
 #include "oracle/naive_kep.h"
@@ -103,6 +104,15 @@ class Comparator {
            "IsLossless disagrees with the chased scheme tableau");
     Expect(IsLosslessByChase(scheme_) == lossless_naive, "lossless/chase",
            "optimized chase disagrees with exhaustive chase on T_R");
+
+    // Chase implementations: delta-driven vs pass-based vs exhaustive
+    // pairwise, on the scheme tableau and generated state tableaux (final
+    // canonical tableau, consistency verdict and equate count must agree).
+    {
+      Status chase = ChaseSelfCheck(scheme_, options_.seed + 7);
+      Expect(chase.ok(), "tableau/chase-vs-naive",
+             chase.ok() ? "" : chase.ToString());
+    }
 
     // Key-equivalence: Algorithm 3 vs the FD-closure definition.
     bool ke = IsKeyEquivalent(scheme_);

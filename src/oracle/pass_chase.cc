@@ -1,0 +1,72 @@
+#include "oracle/pass_chase.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace ird::oracle {
+
+namespace {
+
+// Hash of a canonical symbol vector (bucket key for one FD's left side).
+struct SymVecHash {
+  size_t operator()(const std::vector<SymId>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (SymId s : v) {
+      h ^= s;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+ChaseStats PassChaseFds(Tableau* t, const FdSet& fds) {
+  ChaseStats stats;
+  FdSet standard = fds.StandardForm();
+  if (standard.empty() || t->row_count() == 0) return stats;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : standard.fds()) {
+      // StandardForm splits every FD into single-attribute right sides; the
+      // bucket structure below is only sound under that shape.
+      IRD_DCHECK(fd.rhs.Count() == 1);
+      std::vector<AttributeId> lhs_cols = fd.lhs.ToVector();
+      AttributeId rhs_col = fd.rhs.First();
+      // Bucket rows by their canonical left-side symbols; within a bucket,
+      // all right-side symbols must be equal.
+      std::unordered_map<std::vector<SymId>, SymId, SymVecHash> buckets;
+      buckets.reserve(t->row_count());
+      for (size_t row = 0; row < t->row_count(); ++row) {
+        std::vector<SymId> key;
+        key.reserve(lhs_cols.size());
+        for (AttributeId c : lhs_cols) {
+          key.push_back(t->Cell(row, c));
+        }
+        SymId rhs_sym = t->Cell(row, rhs_col);
+        auto [it, inserted] = buckets.emplace(std::move(key), rhs_sym);
+        if (!inserted) {
+          SymId existing = t->Canonical(it->second);
+          if (existing != rhs_sym) {
+            // Distinct canonical symbols: apply the fd-rule.
+            if (!t->Equate(existing, rhs_sym)) {
+              stats.consistent = false;
+              return stats;
+            }
+            ++stats.rule_applications;
+            changed = true;
+            // A successful Equate must actually merge the classes.
+            IRD_DCHECK(t->Canonical(existing) == t->Canonical(rhs_sym));
+          }
+          it->second = t->Canonical(rhs_sym);
+        }
+      }
+    }
+  }
+  t->Canonicalize();
+  return stats;
+}
+
+}  // namespace ird::oracle

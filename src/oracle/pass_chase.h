@@ -1,0 +1,28 @@
+// The pass-based bucketed chase — the previous generation of
+// tableau/chase.h's ChaseFds, retired to the oracle layer when the
+// delta-driven engine replaced it. Each fixpoint pass rebuilds every FD's
+// left-side bucket map from scratch over the whole tableau: quadratic
+// re-scan work, but simple enough to audit by eye, and one optimization
+// level above the exhaustive pairwise NaiveChase (naive_chase.h).
+//
+// The `tableau/chase-vs-naive` differential cross-check holds all three
+// implementations equal: final canonical tableau, consistency verdict, and
+// (between this and the incremental engine) the rule-application count.
+
+#ifndef IRD_ORACLE_PASS_CHASE_H_
+#define IRD_ORACLE_PASS_CHASE_H_
+
+#include "fd/fd_set.h"
+#include "tableau/chase.h"
+#include "tableau/tableau.h"
+
+namespace ird::oracle {
+
+// Runs CHASE_F(t) in place by full passes over standard-form FDs, each
+// rebuilding its bucket map, until a pass changes nothing. Only
+// `consistent` and `rule_applications` of the result are meaningful.
+ChaseStats PassChaseFds(Tableau* t, const FdSet& fds);
+
+}  // namespace ird::oracle
+
+#endif  // IRD_ORACLE_PASS_CHASE_H_

@@ -1,6 +1,7 @@
 #include "tableau/chase.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "obs/obs.h"
@@ -9,16 +10,313 @@ namespace ird {
 
 namespace {
 
-// Hash of a canonical symbol vector (bucket key for one FD's left side).
-struct SymVecHash {
-  size_t operator()(const std::vector<SymId>& v) const {
-    uint64_t h = 1469598103934665603ull;
-    for (SymId s : v) {
-      h ^= s;
-      h *= 1099511628211ull;
-    }
-    return static_cast<size_t>(h);
+constexpr uint32_t kNoEntry = static_cast<uint32_t>(-1);
+constexpr int32_t kNoNode = -1;
+
+uint64_t HashSyms(const SymId* syms, uint32_t len) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint32_t i = 0; i < len; ++i) {
+    h ^= syms[i];
+    h *= 1099511628211ull;
   }
+  return h;
+}
+
+// Open-addressing map from a canonical lhs symbol vector (one FD's bucket
+// key) to the bucket's rhs symbol. Keys live in a shared append-only arena,
+// entries and slots in flat vectors, so the steady-state probe allocates
+// nothing. Entries are never removed: an entry whose key contains a
+// merged-away symbol is stale, and stays — probes always canonicalize, so
+// no future lookup can produce a stale key, and every row that owned one is
+// re-probed under its repaired key by the merge-log walk.
+class BucketMap {
+ public:
+  void Init(std::vector<SymId>* arena, size_t expected_entries) {
+    arena_ = arena;
+    size_t cap = 16;
+    while (cap < expected_entries * 2) cap <<= 1;
+    slots_.assign(cap, kNoEntry);
+    mask_ = cap - 1;
+  }
+
+  // Looks `key` up; if absent, inserts (key -> value) and returns kNoEntry,
+  // else returns the entry index (value untouched).
+  uint32_t FindOrInsert(const SymId* key, uint32_t len, SymId value) {
+    uint64_t hash = HashSyms(key, len);
+    size_t i = hash & mask_;
+    while (true) {
+      uint32_t e = slots_[i];
+      if (e == kNoEntry) {
+        slots_[i] = static_cast<uint32_t>(entries_.size());
+        entries_.push_back(Entry{hash, static_cast<uint32_t>(arena_->size()),
+                                 len, value});
+        arena_->insert(arena_->end(), key, key + len);
+        if (entries_.size() * 2 > mask_) Grow();
+        return kNoEntry;
+      }
+      const Entry& entry = entries_[e];
+      if (entry.hash == hash && entry.len == len &&
+          std::equal(key, key + len, arena_->data() + entry.offset)) {
+        return e;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  SymId value(uint32_t e) const { return entries_[e].value; }
+  void set_value(uint32_t e, SymId v) { entries_[e].value = v; }
+
+ private:
+  struct Entry {
+    uint64_t hash;
+    uint32_t offset;  // into the shared key arena
+    uint32_t len;
+    SymId value;
+  };
+
+  void Grow() {
+    size_t cap = (mask_ + 1) * 2;
+    slots_.assign(cap, kNoEntry);
+    mask_ = cap - 1;
+    for (uint32_t e = 0; e < entries_.size(); ++e) {
+      size_t i = entries_[e].hash & mask_;
+      while (slots_[i] != kNoEntry) i = (i + 1) & mask_;
+      slots_[i] = e;
+    }
+  }
+
+  std::vector<SymId>* arena_ = nullptr;
+  std::vector<uint32_t> slots_;
+  size_t mask_ = 0;
+  std::vector<Entry> entries_;
+};
+
+// The delta-driven chase. One engine instance per invocation; all state is
+// local to it (and therefore thread-confined), sized once up front, so the
+// probe/repair loop performs no heap allocation in steady state.
+//
+// Invariants the repair loop maintains:
+//  * Bucket entries hold keys that were canonical at insert time; the rhs
+//    value is canonicalized on every read.
+//  * The occurrence index maps each canonical symbol to every (row, col)
+//    cell holding its class, over columns appearing in some FD's lhs. rhs
+//    columns need no repair: a merge never enables a new firing through an
+//    rhs cell (the firing condition reads lhs columns only), and stored rhs
+//    values are canonicalized on read.
+//  * occ_count_[s] is the number of indexed cells in s's class. A (fd, row)
+//    pair whose key has a column class with occ_count_ == 1 cannot collide
+//    with any other row (a collision needs a second occurrence of that
+//    class in the same column), so seeding skips it; the pair is enqueued
+//    the moment that class first merges — as loser (its cells' canonical
+//    changes) or as a previously-singleton winner.
+class ChaseEngine {
+ public:
+  ChaseEngine(Tableau* t, const FdSet& standard) : t_(t) {
+    const size_t width = t_->width();
+    const size_t rows = t_->row_count();
+    fds_.reserve(standard.size());
+    size_t max_lhs = 0;
+    fds_by_col_.assign(width, {});
+    for (const FunctionalDependency& fd : standard.fds()) {
+      // StandardForm splits every FD into single-attribute right sides; the
+      // bucket structure is only sound under that shape.
+      IRD_DCHECK(fd.rhs.Count() == 1);
+      uint32_t id = static_cast<uint32_t>(fds_.size());
+      fds_.push_back(IndexedFd{fd.lhs.ToVector(), fd.rhs.First(), {}});
+      fds_.back().buckets.Init(&key_arena_, rows);
+      max_lhs = std::max(max_lhs, fds_.back().lhs_cols.size());
+      for (AttributeId c : fds_.back().lhs_cols) fds_by_col_[c].push_back(id);
+    }
+    lhs_scratch_.resize(max_lhs);
+    BuildOccurrenceIndex();
+    pending_.assign(fds_.size() * rows, 0);
+    log_cursor_ = t_->merge_log().size();
+  }
+
+  void Run(ChaseStats* stats) {
+    const size_t rows = t_->row_count();
+    bool consistent = true;
+    // Seed scan — the one-time index build. Every (fd, row) pair that could
+    // collide right now is inserted into its bucket; pairs a concurrent
+    // merge has already enqueued are absorbed here (probed once, lazily
+    // deleted from the worklist), so no pair is ever probed twice.
+    for (uint32_t f = 0; f < fds_.size() && consistent; ++f) {
+      const IndexedFd& fd = fds_[f];
+      for (size_t r = 0; r < rows; ++r) {
+        const uint64_t item = static_cast<uint64_t>(f) * rows + r;
+        if (pending_[item]) {
+          pending_[item] = 0;  // absorbed: its class merged, so never skip
+        } else if (SeedSkip(fd, r)) {
+          continue;
+        }
+        ++seed_probes_;
+        if (!Probe(f, r)) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+    // Drain the worklist: only (fd, row) pairs an actual merge re-touched
+    // after their seed turn had passed. This is the engine's delta work —
+    // what the pass-based chase redid with whole-tableau re-scans.
+    while (consistent && !worklist_.empty()) {
+      uint64_t item = worklist_.back();
+      worklist_.pop_back();
+      if (!pending_[item]) continue;  // absorbed by the seed scan
+      pending_[item] = 0;
+      ++reprobes_;
+      consistent = Probe(static_cast<uint32_t>(item / rows),
+                         static_cast<size_t>(item % rows));
+    }
+    stats->consistent = consistent;
+    stats->rule_applications = equates_;
+    stats->seed_probes = seed_probes_;
+    stats->reprobes = reprobes_;
+    stats->index_repairs = repairs_;
+    stats->worklist_max = worklist_max_;
+    IRD_COUNT_ADD(chase.seed_probes, seed_probes_);
+    IRD_COUNT_ADD(chase.reprobes, reprobes_);
+    IRD_COUNT_ADD(chase.equates, equates_);
+    IRD_COUNT_ADD(chase.index_repairs, repairs_);
+    IRD_COUNT_ADD(chase.worklist_max, worklist_max_);
+    if (consistent) t_->Canonicalize();
+  }
+
+ private:
+  struct IndexedFd {
+    std::vector<AttributeId> lhs_cols;
+    AttributeId rhs_col;
+    BucketMap buckets;
+  };
+
+  struct OccNode {
+    uint32_t row;
+    uint32_t col;
+    int32_t next;
+  };
+
+  void BuildOccurrenceIndex() {
+    const size_t width = t_->width();
+    const size_t rows = t_->row_count();
+    occ_head_.assign(t_->symbol_count(), kNoNode);
+    occ_tail_.assign(t_->symbol_count(), kNoNode);
+    occ_count_.assign(t_->symbol_count(), 0);
+    size_t indexed_cols = 0;
+    for (uint32_t c = 0; c < width; ++c) {
+      if (!fds_by_col_[c].empty()) ++indexed_cols;
+    }
+    occ_nodes_.reserve(rows * indexed_cols);
+    for (uint32_t c = 0; c < width; ++c) {
+      if (fds_by_col_[c].empty()) continue;
+      for (size_t r = 0; r < rows; ++r) {
+        SymId s = t_->Cell(r, c);
+        int32_t node = static_cast<int32_t>(occ_nodes_.size());
+        occ_nodes_.push_back(OccNode{static_cast<uint32_t>(r), c,
+                                     occ_head_[s]});
+        if (occ_head_[s] == kNoNode) occ_tail_[s] = node;
+        occ_head_[s] = node;
+        ++occ_count_[s];
+      }
+    }
+  }
+
+  // A (fd, row) pair whose key has a column class with only one indexed
+  // occurrence cannot collide with any other row (a collision needs a
+  // second occurrence of that class in the same column); probing it would
+  // only insert a bucket nothing else can reach. The pair is enqueued the
+  // moment that class first merges.
+  bool SeedSkip(const IndexedFd& fd, size_t r) const {
+    for (AttributeId c : fd.lhs_cols) {
+      if (occ_count_[t_->Cell(r, c)] == 1) return true;
+    }
+    return false;
+  }
+
+  // Probes row r into fd f's bucket; applies the fd-rule on a collision and
+  // repairs the indexes from the merge log. Returns false on inconsistency.
+  bool Probe(uint32_t f, size_t r) {
+    IndexedFd& fd = fds_[f];
+    const uint32_t len = static_cast<uint32_t>(fd.lhs_cols.size());
+    SymId stack_key[4];
+    SymId* key = len <= 4 ? stack_key : lhs_scratch_.data();
+    for (uint32_t i = 0; i < len; ++i) {
+      key[i] = t_->Cell(r, fd.lhs_cols[i]);
+    }
+    SymId rhs = t_->Cell(r, fd.rhs_col);
+    uint32_t e = fd.buckets.FindOrInsert(key, len, rhs);
+    if (e == kNoEntry) return true;  // first row of this bucket
+    SymId existing = t_->Canonical(fd.buckets.value(e));
+    if (existing != rhs) {
+      // Distinct canonical symbols: apply the fd-rule.
+      if (!t_->Equate(existing, rhs)) return false;
+      ++equates_;
+      // A successful Equate must actually merge the classes.
+      IRD_DCHECK(t_->Canonical(existing) == t_->Canonical(rhs));
+      DrainMergeLog();
+    }
+    fd.buckets.set_value(e, t_->Canonical(rhs));
+    return true;
+  }
+
+  void DrainMergeLog() {
+    const std::vector<Tableau::MergeRecord>& log = t_->merge_log();
+    while (log_cursor_ < log.size()) {
+      const Tableau::MergeRecord rec = log[log_cursor_++];
+      ++repairs_;
+      const bool winner_was_singleton = occ_count_[rec.winner] == 1;
+      occ_count_[rec.winner] += occ_count_[rec.loser];
+      EnqueueOccurrences(rec.loser);
+      // A previously-singleton winner keeps its canonical key, but rows that
+      // were seed-skipped because of it can collide from now on.
+      if (winner_was_singleton) EnqueueOccurrences(rec.winner);
+      SpliceOccurrences(rec.winner, rec.loser);
+    }
+  }
+
+  void EnqueueOccurrences(SymId s) {
+    const size_t rows = t_->row_count();
+    for (int32_t n = occ_head_[s]; n != kNoNode; n = occ_nodes_[n].next) {
+      const OccNode& node = occ_nodes_[n];
+      for (uint32_t f : fds_by_col_[node.col]) {
+        uint64_t item = static_cast<uint64_t>(f) * rows + node.row;
+        if (pending_[item]) continue;
+        pending_[item] = 1;
+        worklist_.push_back(item);
+        worklist_max_ = std::max(worklist_max_, worklist_.size());
+      }
+    }
+  }
+
+  void SpliceOccurrences(SymId winner, SymId loser) {
+    if (occ_head_[loser] == kNoNode) return;
+    if (occ_head_[winner] == kNoNode) {
+      occ_head_[winner] = occ_head_[loser];
+      occ_tail_[winner] = occ_tail_[loser];
+    } else {
+      occ_nodes_[occ_tail_[winner]].next = occ_head_[loser];
+      occ_tail_[winner] = occ_tail_[loser];
+    }
+    occ_head_[loser] = kNoNode;
+    occ_tail_[loser] = kNoNode;
+  }
+
+  Tableau* t_;
+  std::vector<IndexedFd> fds_;
+  std::vector<std::vector<uint32_t>> fds_by_col_;  // lhs membership, per col
+  std::vector<SymId> key_arena_;       // all bucket keys, all FDs
+  std::vector<SymId> lhs_scratch_;     // key buffer for lhs vectors > 4
+  std::vector<OccNode> occ_nodes_;
+  std::vector<int32_t> occ_head_;      // per symbol; kNoNode if empty
+  std::vector<int32_t> occ_tail_;
+  std::vector<uint32_t> occ_count_;    // indexed cells per symbol class
+  std::vector<uint64_t> worklist_;     // fd * row_count + row, LIFO
+  std::vector<uint8_t> pending_;       // worklist membership bitmap
+  size_t log_cursor_ = 0;
+  size_t equates_ = 0;
+  size_t seed_probes_ = 0;
+  size_t reprobes_ = 0;
+  size_t repairs_ = 0;
+  size_t worklist_max_ = 0;
 };
 
 }  // namespace
@@ -29,54 +327,8 @@ ChaseStats ChaseFds(Tableau* t, const FdSet& fds) {
   ChaseStats stats;
   FdSet standard = fds.StandardForm();
   if (standard.empty() || t->row_count() == 0) return stats;
-
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    ++stats.passes;
-    IRD_COUNT(chase.passes);
-    for (const FunctionalDependency& fd : standard.fds()) {
-      // chase.steps = row-bucket probes, the chase's unit of work; hoisted
-      // out of the row loop (exact except for an inconsistency's early
-      // return, which charges the abandoned remainder of its pass).
-      IRD_COUNT_ADD(chase.steps, t->row_count());
-      // StandardForm splits every FD into single-attribute right sides; the
-      // bucket structure below is only sound under that shape.
-      IRD_DCHECK(fd.rhs.Count() == 1);
-      std::vector<AttributeId> lhs_cols = fd.lhs.ToVector();
-      AttributeId rhs_col = fd.rhs.First();
-      // Bucket rows by their canonical left-side symbols; within a bucket,
-      // all right-side symbols must be equal.
-      std::unordered_map<std::vector<SymId>, SymId, SymVecHash> buckets;
-      buckets.reserve(t->row_count());
-      for (size_t row = 0; row < t->row_count(); ++row) {
-        std::vector<SymId> key;
-        key.reserve(lhs_cols.size());
-        for (AttributeId c : lhs_cols) {
-          key.push_back(t->Cell(row, c));
-        }
-        SymId rhs_sym = t->Cell(row, rhs_col);
-        auto [it, inserted] = buckets.emplace(std::move(key), rhs_sym);
-        if (!inserted) {
-          SymId existing = t->Canonical(it->second);
-          if (existing != rhs_sym) {
-            // Distinct canonical symbols: apply the fd-rule.
-            if (!t->Equate(existing, rhs_sym)) {
-              stats.consistent = false;
-              return stats;
-            }
-            ++stats.rule_applications;
-            IRD_COUNT(chase.equates);
-            changed = true;
-            // A successful Equate must actually merge the classes.
-            IRD_DCHECK(t->Canonical(existing) == t->Canonical(rhs_sym));
-          }
-          it->second = t->Canonical(rhs_sym);
-        }
-      }
-    }
-  }
-  t->Canonicalize();
+  ChaseEngine engine(t, standard);
+  engine.Run(&stats);
   return stats;
 }
 
@@ -102,27 +354,32 @@ bool IsLosslessByChase(const DatabaseScheme& scheme) {
 size_t MinimizeByConstantSubsumption(Tableau* t) {
   const size_t n = t->row_count();
   std::vector<AttributeSet> constant_cols(n);
+  // Constant values hoisted out of the pairwise agreement checks: one
+  // column-indexed value vector per row (only constant columns are valid).
+  std::vector<std::vector<Value>> values(n);
   for (size_t i = 0; i < n; ++i) {
     constant_cols[i] = t->ConstantColumns(i);
+    values[i].resize(t->width());
+    constant_cols[i].ForEach([&](AttributeId c) {
+      values[i][c] = t->ValueOf(t->Cell(i, c));
+    });
   }
   std::vector<bool> dead(n, false);
   for (size_t i = 0; i < n; ++i) {
     if (dead[i]) continue;
     for (size_t j = 0; j < n; ++j) {
-      if (i == j || dead[j] || dead[i]) continue;
+      if (i == j || dead[j]) continue;
       // Row j subsumes row i if j's constants extend i's. Ties (identical
       // constant parts) keep the lower index.
       if (!constant_cols[i].IsSubsetOf(constant_cols[j])) continue;
       if (constant_cols[i] == constant_cols[j] && j > i) continue;
       bool agree = true;
       constant_cols[i].ForEach([&](AttributeId c) {
-        if (agree &&
-            t->ValueOf(t->Cell(i, c)) != t->ValueOf(t->Cell(j, c))) {
-          agree = false;
-        }
+        if (agree && values[i][c] != values[j][c]) agree = false;
       });
       if (agree) {
         dead[i] = true;
+        break;  // row i is gone; no point scanning further subsumers
       }
     }
   }

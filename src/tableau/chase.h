@@ -5,6 +5,14 @@
 // This module is the library's semantic ground truth: consistency of states,
 // representative instances, losslessness, and every specialized algorithm of
 // the paper are validated against it.
+//
+// ChaseFds is delta-driven (semi-naive): per-FD bucket indexes are built
+// once and repaired — not rebuilt — after each merge, using the tableau's
+// union-find merge log and a symbol→(row, column) occurrence index, so the
+// work after the initial seeding is proportional to what actually changed.
+// The previous pass-based implementation lives on as the reference
+// oracle::PassChaseFds (src/oracle/pass_chase.h) and the two are held equal
+// by the `tableau/chase-vs-naive` differential cross-check.
 
 #ifndef IRD_TABLEAU_CHASE_H_
 #define IRD_TABLEAU_CHASE_H_
@@ -20,9 +28,22 @@ struct ChaseStats {
   bool consistent = true;
   // Number of symbol merges performed (fd-rule applications that changed
   // the tableau) — the quantity bounded by "boundedness" (paper §2.5).
+  // Order-independent on consistent inputs: it equals the number of symbol
+  // classes the chase collapses, whatever the rule order.
   size_t rule_applications = 0;
-  // Number of full passes over the dependency set.
-  size_t passes = 0;
+  // Bucket probes of the seed scan — the one-time index build that replaces
+  // the pass engine's first whole-tableau pass (counter chase.seed_probes).
+  size_t seed_probes = 0;
+  // Worklist-driven re-probes: (fd, row) pairs re-examined because a merge
+  // touched their key after their seed turn. This is the engine's delta
+  // work — the part the pass-based chase redid with whole-tableau re-scans
+  // (counter chase.reprobes).
+  size_t reprobes = 0;
+  // Merge-log records consumed to repair the indexes; equals
+  // rule_applications (every merge is repaired exactly once).
+  size_t index_repairs = 0;
+  // High-water mark of the (fd, row) worklist.
+  size_t worklist_max = 0;
 };
 
 // Runs CHASE_F(t) in place. On inconsistency the tableau contents are

@@ -120,6 +120,7 @@ bool Tableau::Equate(SymId a, SymId b) {
     loser = rb;
   }
   symbols_[loser].parent = winner;
+  merge_log_.push_back(MergeRecord{winner, loser});
   return true;
 }
 

@@ -105,8 +105,27 @@ class Tableau {
   // --- Equating (the fd-rule's renaming step) -------------------------------
 
   // Merges the classes of a and b per the paper's precedence. Returns false
-  // iff both are constants with different values (an inconsistency).
+  // iff both are constants with different values (an inconsistency). Every
+  // merge that actually joins two classes appends one MergeRecord to the
+  // merge log (the incremental chase repairs its indexes from it).
   [[nodiscard]] bool Equate(SymId a, SymId b);
+
+  // --- Merge log (union-find history) ---------------------------------------
+
+  // One class merge: both ids were roots when the merge happened; `loser`
+  // was re-parented under `winner` and is no longer canonical.
+  struct MergeRecord {
+    SymId winner;
+    SymId loser;
+  };
+
+  // All merges performed so far, in order. Never truncated: consumers keep
+  // a cursor into it (see the chase engine's index repair loop).
+  const std::vector<MergeRecord>& merge_log() const { return merge_log_; }
+
+  // Total number of symbols ever created (canonical or not) — the size of
+  // the id space occurrence indexes must cover.
+  size_t symbol_count() const { return symbols_.size(); }
 
   // --- Row-level queries -----------------------------------------------------
 
@@ -147,6 +166,7 @@ class Tableau {
   size_t width_;
   std::vector<SymbolInfo> symbols_;
   std::vector<std::vector<SymId>> rows_;
+  std::vector<MergeRecord> merge_log_;
   // Caches for deduplicated constants and per-column dv's.
   std::unordered_map<Value, SymId> constant_cache_;
   std::vector<SymId> dv_cache_;  // indexed by column; kNoSymId if absent

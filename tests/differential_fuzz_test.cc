@@ -21,6 +21,7 @@
 #include "diagnostics/verify.h"
 #include "engine/scheme_analysis.h"
 #include "gtest/gtest.h"
+#include "oracle/chase_check.h"
 #include "oracle/corpus.h"
 #include "oracle/differential.h"
 #include "oracle/mutate.h"
@@ -132,6 +133,18 @@ class DifferentialFuzz : public ::testing::Test {
       if (!lint_ok.ok()) {
         ADD_FAILURE() << family.name << "[" << i
                       << "] lint self-check: " << lint_ok.ToString();
+        if (++failures >= 3) break;
+      }
+
+      // The three chase implementations (delta-driven, pass-based,
+      // exhaustive pairwise) must agree on every scheme the fuzzer can
+      // build. CompareAgainstOracles repeats this as the
+      // `tableau/chase-vs-naive` routine (so disagreements shrink into the
+      // corpus); the direct call attributes the failure precisely.
+      Status chase_ok = ChaseSelfCheck(scheme, base_seed + i);
+      if (!chase_ok.ok()) {
+        ADD_FAILURE() << family.name << "[" << i
+                      << "] chase self-check: " << chase_ok.ToString();
         if (++failures >= 3) break;
       }
 
