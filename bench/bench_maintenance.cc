@@ -14,18 +14,28 @@
 //  - alg2/chain:      Algorithm 2 on the same scheme
 //  - alg2/split:      Algorithm 2 on the split scheme (Example 5 family)
 //  - naive/chain, naive/split: full re-chase baseline
+//  - sharded/*:       the block-sharded router (ShardedMaintainer); pass
+//                     --shards=N to size its validation pool (default 1)
 
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_main.h"
+#include <cstdlib>
+#include <cstring>
 
 #include "core/block_maintainer.h"
 #include "core/ctm_maintainer.h"
 #include "core/key_equivalent_maintainer.h"
+#include "core/sharded_maintainer.h"
+#include "obs/export.h"
 #include "relation/weak_instance.h"
 #include "workload/generators.h"
 
 namespace ird {
+
+// Worker-pool width for the sharded benchmarks (--shards=N; default 1,
+// i.e. the serial single-thread profile). Set by main() below.
+size_t g_shard_jobs = 1;
+
 namespace {
 
 constexpr size_t kStreamLength = 256;
@@ -134,6 +144,61 @@ BENCHMARK(BM_BlockMaintainerCheckInsert)
     ->Arg(10000)
     ->Arg(100000);
 
+// The sharded router's per-insert overhead over the single-shard oracle:
+// same scheme, state and stream as BM_BlockMaintainerCheckInsert, routed
+// through ShardedMaintainer::CheckInsert.
+void BM_ShardedCheckInsert(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeBlockScheme(3, 3);
+  DatabaseState state = MakeState(scheme, bench.range(0));
+  auto m = ShardedMaintainer::Create(std::move(state), g_shard_jobs,
+                                     /*verify=*/false);
+  IRD_CHECK(m.ok());
+  auto stream = MakeInsertStream(scheme, m->Materialize(),
+                                 kStreamLength, kConflictRate, 42);
+  size_t i = 0;
+  for (auto _ : bench) {
+    const InsertInstance& ins = stream[i++ % stream.size()];
+    auto verdict = m->CheckInsert(ins.rel, ins.tuple);
+    benchmark::DoNotOptimize(verdict);
+  }
+  bench.counters["blocks"] = static_cast<double>(m->sharded_state().shard_count());
+  bench.counters["jobs"] = static_cast<double>(m->jobs());
+}
+BENCHMARK(BM_ShardedCheckInsert)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Batched validation across shards: each iteration pushes a 64-op slice of
+// the stream through InsertBatch, so distinct blocks validate on the pool
+// (--shards=N workers). Applied inserts grow the state, as in
+// BM_CtmApplyInsert.
+void BM_ShardedInsertBatch(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeBlockScheme(4, 3);
+  DatabaseState state = MakeState(scheme, bench.range(0));
+  auto m = ShardedMaintainer::Create(std::move(state), g_shard_jobs,
+                                     /*verify=*/false);
+  IRD_CHECK(m.ok());
+  auto stream = MakeInsertStream(scheme, m->Materialize(), 4096,
+                                 kConflictRate, 42);
+  constexpr size_t kBatch = 64;
+  size_t i = 0;
+  size_t accepted = 0;
+  for (auto _ : bench) {
+    std::vector<InsertOp> ops;
+    ops.reserve(kBatch);
+    for (size_t k = 0; k < kBatch; ++k) {
+      const InsertInstance& ins = stream[i++ % stream.size()];
+      ops.push_back({ins.rel, ins.tuple});
+    }
+    std::vector<Status> verdicts = m->InsertBatch(ops);
+    for (const Status& s : verdicts) accepted += s.ok() ? 1 : 0;
+    benchmark::DoNotOptimize(verdicts);
+  }
+  bench.counters["blocks"] = static_cast<double>(m->sharded_state().shard_count());
+  bench.counters["jobs"] = static_cast<double>(m->jobs());
+  bench.counters["accepted/batch"] =
+      static_cast<double>(accepted) / static_cast<double>(bench.iterations());
+}
+BENCHMARK(BM_ShardedInsertBatch)->Arg(100)->Arg(1000)->Arg(10000);
+
 void NaiveCheckInsert(benchmark::State& bench, DatabaseScheme scheme) {
   DatabaseState state = MakeState(scheme, bench.range(0));
   auto stream =
@@ -179,4 +244,28 @@ BENCHMARK(BM_CtmApplyInsert)->Iterations(100000);
 }  // namespace
 }  // namespace ird
 
-IRD_BENCHMARK_MAIN();
+// IRD_BENCHMARK_MAIN plus one extra flag: --shards=N (or --shards N) sizes
+// the sharded benchmarks' validation pool. It must be stripped before
+// benchmark::Initialize — ReportUnrecognizedArguments rejects flags the
+// library doesn't know.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      ird::g_shard_jobs = std::strtoull(argv[i] + 9, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      ird::g_shard_jobs = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (ird::g_shard_jobs == 0) ird::g_shard_jobs = 1;
+
+  ird::obs::InitFromEnv();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return ird::obs::ExportFromEnv(argv[0]);
+}

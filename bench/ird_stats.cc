@@ -39,6 +39,7 @@
 
 #include "core/classify.h"
 #include "core/recognition.h"
+#include "core/sharded_maintainer.h"
 #include "core/split.h"
 #include "engine/batch.h"
 #include "engine/scheme_analysis.h"
@@ -222,6 +223,64 @@ std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale) {
         }));
   }
 
+  {
+    // The sharded engine (E2's parallel arm): a two-block Example 11-shaped
+    // scheme takes a batched insert storm through ShardedMaintainer and a
+    // cross-block total projection through the shard router; a split
+    // scheme sends its storm through the Algorithm 2 block machinery.
+    const size_t entities = 40, ops = 120, jobs = 2, reps = 5 * scale;
+    DatabaseScheme scheme = DatabaseScheme::Create();
+    scheme.AddRelation("R1", "AB", {"A", "B"});
+    scheme.AddRelation("R2", "BC", {"B", "C"});
+    scheme.AddRelation("R3", "AC", {"A", "C"});
+    scheme.AddRelation("R4", "AD", {"A"});
+    scheme.AddRelation("R5", "DEF", {"D"});
+    scheme.AddRelation("R6", "DEG", {"D"});
+    StateGenOptions sopt;
+    sopt.entities = entities;
+    sopt.seed = 11;
+    DatabaseState state = MakeConsistentState(scheme, sopt);
+    std::vector<InsertInstance> stream =
+        MakeInsertStream(scheme, state, ops, 0.3, 13);
+    AttributeSet cross;  // one attribute from each block: crosses shards
+    cross.Add(scheme.universe().Find("A").value());
+    cross.Add(scheme.universe().Find("E").value());
+    DatabaseScheme split_scheme = MakeSplitScheme(2);
+    StateGenOptions split_opt;
+    split_opt.entities = entities;
+    split_opt.seed = 17;
+    DatabaseState split_state = MakeConsistentState(split_scheme, split_opt);
+    std::vector<InsertInstance> split_stream =
+        MakeInsertStream(split_scheme, split_state, ops, 0.3, 19);
+    records.push_back(RunWorkload(
+        "sharded_maintenance",
+        ConfigJson({{"entities", entities},
+                    {"ops", ops},
+                    {"jobs", jobs},
+                    {"reps", reps}}),
+        [&] {
+          for (size_t i = 0; i < reps; ++i) {
+            Result<ShardedMaintainer> m =
+                ShardedMaintainer::Create(state, jobs, false);
+            IRD_CHECK(m.ok());
+            std::vector<InsertOp> batch;
+            for (const InsertInstance& ins : stream) {
+              batch.push_back({ins.rel, ins.tuple});
+            }
+            (void)m->InsertBatch(batch);
+            (void)m->TotalProjection(cross);
+            Result<ShardedMaintainer> split_m =
+                ShardedMaintainer::Create(split_state, jobs, false);
+            IRD_CHECK(split_m.ok());
+            std::vector<InsertOp> split_batch;
+            for (const InsertInstance& ins : split_stream) {
+              split_batch.push_back({ins.rel, ins.tuple});
+            }
+            (void)split_m->InsertBatch(split_batch);
+          }
+        }));
+  }
+
   return records;
 }
 
@@ -297,6 +356,12 @@ constexpr const char* kRequiredCounters[] = {
     "recognition.independence_tests", "tableau.rows_materialized",
     "engine.closure_engine.builds",   "engine.closure_memo.hits",
     "engine.closure_memo.misses",
+    "shard.blocks",         "shard.parallel_validations",
+    "shard.cross_block_queries",
+    "maintain.alg5.checks", "maintain.alg5.probes",
+    "maintain.alg5.rejects",
+    "maintain.alg2.checks", "maintain.alg2.lookups",
+    "maintain.alg2.keys_processed",   "maintain.alg2.rejects",
 };
 
 int Run(const Args& args) {
@@ -304,7 +369,7 @@ int Run(const Args& args) {
     std::printf(
         "recognition_block\nrecognition_independent\nrecognition_random\n"
         "recognition_shared_context\nsplit_analysis\nchase_consistency\n"
-        "classify_anchors (--anchors)\n");
+        "sharded_maintenance\nclassify_anchors (--anchors)\n");
     return 0;
   }
   if (!args.trace.empty()) obs::Trace::SetEnabled(true);

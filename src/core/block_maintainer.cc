@@ -1,6 +1,7 @@
 #include "core/block_maintainer.h"
 
 #include "core/split.h"
+#include "engine/scheme_analysis.h"
 
 namespace ird {
 
@@ -19,33 +20,16 @@ Result<IndependenceReducibleMaintainer> IndependenceReducibleMaintainer::Create(
   m.recognition_ = std::move(recognition);
   m.rel_to_block_.assign(state.scheme().size(), 0);
   for (size_t b = 0; b < m.recognition_.partition.size(); ++b) {
-    Block block;
-    block.pool = m.recognition_.partition[b];
-    for (size_t rel : block.pool) {
+    const std::vector<size_t>& pool = m.recognition_.partition[b];
+    for (size_t rel : pool) {
       m.rel_to_block_[rel] = b;
     }
-    block.split_free = IsSplitFree(analysis, block.pool);
-    if (!block.split_free) m.all_blocks_split_free_ = false;
-    if (block.split_free) {
-      // Algorithm 5 machinery; consistency of the block substate is
-      // verified separately below if requested.
-      Result<StateKeyIndex> idx = StateKeyIndex::Build(state, block.pool);
-      if (!idx.ok()) return idx.status();
-      block.key_index = std::move(idx).value();
-      if (verify_consistency) {
-        Result<RepresentativeIndex> rep =
-            RepresentativeIndex::Build(state, block.pool);
-        if (!rep.ok()) return rep.status();
-      }
-    } else {
-      // Algorithm 2 machinery: the block representative instance. Building
-      // it chases the block substate, which is also the consistency check.
-      Result<RepresentativeIndex> rep =
-          RepresentativeIndex::Build(state, block.pool);
-      if (!rep.ok()) return rep.status();
-      block.rep_index = std::move(rep).value();
-    }
-    m.blocks_.push_back(std::move(block));
+    bool split_free = IsSplitFree(analysis, pool);
+    if (!split_free) m.all_blocks_split_free_ = false;
+    Result<BlockShard> shard =
+        BlockShard::Build(state, pool, split_free, verify_consistency);
+    if (!shard.ok()) return shard.status();
+    m.blocks_.push_back(std::move(shard).value());
   }
   m.state_ = std::move(state);
   return m;
@@ -54,30 +38,17 @@ Result<IndependenceReducibleMaintainer> IndependenceReducibleMaintainer::Create(
 Result<PartialTuple> IndependenceReducibleMaintainer::CheckInsert(
     size_t rel, const PartialTuple& tuple, MaintenanceStats* stats) const {
   IRD_CHECK(rel < state_.scheme().size());
-  const Block& block = blocks_[rel_to_block_[rel]];
-  if (block.split_free) {
-    ExtensionStats ext_stats;
-    Result<PartialTuple> q = CheckInsertCtm(
-        state_.scheme(), *block.key_index, rel, tuple, &ext_stats);
-    if (stats != nullptr) {
-      stats->lookups += ext_stats.probes;
-    }
-    return q;
-  }
-  return CheckInsertKeyEquivalent(state_.scheme(), block.pool,
-                                  *block.rep_index, rel, tuple, stats);
+  return blocks_[rel_to_block_[rel]].CheckInsert(rel, tuple, stats);
 }
 
 Status IndependenceReducibleMaintainer::Insert(size_t rel,
                                                const PartialTuple& tuple) {
   Result<PartialTuple> q = CheckInsert(rel, tuple);
   if (!q.ok()) return q.status();
+  // The merged view and the owning shard both apply the tuple; the shard's
+  // Apply also keeps its Algorithm 5/2 index current.
   state_.mutable_relation(rel).AddUnique(tuple);
-  Block& block = blocks_[rel_to_block_[rel]];
-  if (block.split_free) {
-    return block.key_index->AddTuple(rel, tuple);
-  }
-  return block.rep_index->InsertTuple(rel, tuple);
+  return blocks_[rel_to_block_[rel]].Apply(rel, tuple);
 }
 
 }  // namespace ird

@@ -4,17 +4,20 @@
 // blocks implies global consistency because the induced scheme D is
 // independent. Split-free blocks get the constant-time Algorithm 5; split
 // blocks get the algebraic Algorithm 2 (Theorem 4.2, Theorem 5.5).
+//
+// This is the *single-shard* engine: one merged DatabaseState, per-block
+// BlockShard machinery, everything on the calling thread. It is kept as
+// the differential oracle for the sharded path (ShardedMaintainer,
+// core/sharded_maintainer.h) — see oracle routine
+// `maintenance/sharded-vs-single`.
 
 #ifndef IRD_CORE_BLOCK_MAINTAINER_H_
 #define IRD_CORE_BLOCK_MAINTAINER_H_
 
-#include <optional>
 #include <vector>
 
-#include "core/ctm_maintainer.h"
-#include "core/key_equivalent_maintainer.h"
+#include "core/block_shard.h"
 #include "core/recognition.h"
-#include "core/state_key_index.h"
 #include "relation/database_state.h"
 
 namespace ird {
@@ -43,20 +46,13 @@ class IndependenceReducibleMaintainer {
   bool IsCtm() const { return all_blocks_split_free_; }
 
  private:
-  struct Block {
-    std::vector<size_t> pool;
-    bool split_free = false;
-    // Split-free blocks: raw-state key indexes driving Algorithm 5.
-    std::optional<StateKeyIndex> key_index;
-    // Split blocks: block representative instance driving Algorithm 2.
-    std::optional<RepresentativeIndex> rep_index;
-  };
-
   IndependenceReducibleMaintainer() = default;
 
+  // The merged single-shard view (what state() exposes); each BlockShard
+  // additionally owns its block's tuples and indexes.
   DatabaseState state_{DatabaseScheme::Create()};
   RecognitionResult recognition_;
-  std::vector<Block> blocks_;
+  std::vector<BlockShard> blocks_;
   std::vector<size_t> rel_to_block_;
   bool all_blocks_split_free_ = true;
 };

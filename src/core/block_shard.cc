@@ -1,0 +1,66 @@
+#include "core/block_shard.h"
+
+#include "obs/obs.h"
+
+namespace ird {
+
+Result<BlockShard> BlockShard::Build(const DatabaseState& state,
+                                     std::vector<size_t> pool,
+                                     bool split_free,
+                                     bool verify_consistency) {
+  BlockShard shard;
+  shard.substate_ = state.Restrict(pool);
+  shard.pool_ = std::move(pool);
+  shard.split_free_ = split_free;
+  if (split_free) {
+    Result<StateKeyIndex> idx =
+        StateKeyIndex::Build(shard.substate_, shard.pool_);
+    if (!idx.ok()) return idx.status();
+    shard.key_index_ = std::move(idx).value();
+    if (verify_consistency) {
+      Result<RepresentativeIndex> rep =
+          RepresentativeIndex::Build(shard.substate_, shard.pool_);
+      if (!rep.ok()) return rep.status();
+    }
+  } else {
+    // Building the block representative instance chases the block substate,
+    // which is also the consistency check.
+    Result<RepresentativeIndex> rep =
+        RepresentativeIndex::Build(shard.substate_, shard.pool_);
+    if (!rep.ok()) return rep.status();
+    shard.rep_index_ = std::move(rep).value();
+  }
+  return shard;
+}
+
+Result<PartialTuple> BlockShard::CheckInsert(size_t rel,
+                                             const PartialTuple& tuple,
+                                             MaintenanceStats* stats) const {
+  if (split_free_) {
+    ExtensionStats ext_stats;
+    Result<PartialTuple> q = CheckInsertCtm(substate_.scheme(), *key_index_,
+                                            rel, tuple, &ext_stats);
+    if (stats != nullptr) {
+      stats->lookups += ext_stats.probes;
+    }
+    return q;
+  }
+  return CheckInsertKeyEquivalent(substate_.scheme(), pool_, *rep_index_,
+                                  rel, tuple, stats);
+}
+
+Status BlockShard::Apply(size_t rel, const PartialTuple& tuple) {
+  substate_.mutable_relation(rel).AddUnique(tuple);
+  if (split_free_) {
+    return key_index_->AddTuple(rel, tuple);
+  }
+  return rep_index_->InsertTuple(rel, tuple);
+}
+
+Status BlockShard::Insert(size_t rel, const PartialTuple& tuple) {
+  Result<PartialTuple> q = CheckInsert(rel, tuple);
+  if (!q.ok()) return q.status();
+  return Apply(rel, tuple);
+}
+
+}  // namespace ird

@@ -2,6 +2,7 @@
 
 #include "core/key_equivalence.h"
 #include "core/split.h"
+#include "obs/obs.h"
 #include "relation/weak_instance.h"
 
 namespace ird {
@@ -11,21 +12,40 @@ Result<PartialTuple> CheckInsertCtm(const DatabaseScheme& scheme,
                                     const PartialTuple& tuple,
                                     ExtensionStats* stats) {
   IRD_CHECK(tuple.attrs() == scheme.relation(rel).attrs);
+  IRD_COUNT(maintain.alg5.checks);
+  // Probes/extensions are tallied locally so the registry sees them on
+  // every return path — the constant-time invariant of Theorem 5.5 is
+  // asserted against these counters (tests/obs_invariants_test.cc).
+  ExtensionStats local;
+  auto flush = [&] {
+    IRD_COUNT_ADD(maintain.alg5.probes, local.probes);
+    if (stats != nullptr) {
+      stats->probes += local.probes;
+      stats->extensions += local.extensions;
+    }
+  };
   // Step (1)-(2): q := t ⋈ t'_1 ⋈ ... ⋈ t'_n over the keys of S_rel.
   PartialTuple q = tuple;
   for (const AttributeSet& key : scheme.relation(rel).keys) {
     Result<PartialTuple> extended =
-        ExtendTuple(scheme, index, tuple.Restrict(key), stats);
-    if (!extended.ok()) return extended.status();
+        ExtendTuple(scheme, index, tuple.Restrict(key), &local);
+    if (!extended.ok()) {
+      IRD_COUNT(maintain.alg5.rejects);
+      flush();
+      return extended.status();
+    }
     std::optional<PartialTuple> joined = q.Join(extended.value());
     if (!joined.has_value()) {
       // Step (3): q = ∅ — the insert contradicts the existing total tuple
       // on this key.
+      IRD_COUNT(maintain.alg5.rejects);
+      flush();
       return Inconsistent("inserted tuple contradicts the total tuple on " +
                           scheme.universe().Format(key));
     }
     q = std::move(*joined);
   }
+  flush();
   return q;
 }
 

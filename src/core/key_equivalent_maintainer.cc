@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "core/key_equivalence.h"
+#include "obs/obs.h"
 
 namespace ird {
 
@@ -11,6 +12,7 @@ Result<PartialTuple> CheckInsertKeyEquivalent(
     const RepresentativeIndex& index, size_t rel, const PartialTuple& tuple,
     MaintenanceStats* stats) {
   IRD_CHECK(tuple.attrs() == scheme.relation(rel).attrs);
+  IRD_COUNT(maintain.alg2.checks);
   // Distinct keys embedded in the pool's relations.
   std::vector<AttributeSet> pool_keys;
   for (size_t i : pool) {
@@ -44,11 +46,13 @@ Result<PartialTuple> CheckInsertKeyEquivalent(
     size_t k = unprocessed.back();
     unprocessed.pop_back();
     processed[k] = true;
+    IRD_COUNT(maintain.alg2.keys_processed);
     if (stats != nullptr) ++stats->keys_processed;
 
     const AttributeSet& key = pool_keys[k];
     PartialTuple key_values = q.Restrict(key);
     const PartialTuple* p = index.Lookup(key, key_values);
+    IRD_COUNT(maintain.alg2.lookups);
     if (stats != nullptr) ++stats->lookups;
     // Step (4): v is the (unique) total tuple of the representative
     // instance with these key values, or the key values themselves.
@@ -56,6 +60,7 @@ Result<PartialTuple> CheckInsertKeyEquivalent(
     // Step (5)-(6): q := q ⋈ v; empty join means inconsistent.
     std::optional<PartialTuple> joined = q.Join(v);
     if (!joined.has_value()) {
+      IRD_COUNT(maintain.alg2.rejects);
       return Inconsistent("inserted tuple contradicts the total tuple on " +
                           scheme.universe().Format(key));
     }

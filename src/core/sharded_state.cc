@@ -1,0 +1,124 @@
+#include "core/sharded_state.h"
+
+#include "core/split.h"
+#include "engine/scheme_analysis.h"
+#include "obs/obs.h"
+
+namespace ird {
+
+namespace {
+
+void CollectBaseRelations(const Expression& expr, std::vector<size_t>* out) {
+  if (expr.kind() == Expression::Kind::kBase) {
+    out->push_back(expr.relation_index());
+    return;
+  }
+  for (const ExprPtr& child : expr.children()) {
+    CollectBaseRelations(*child, out);
+  }
+}
+
+}  // namespace
+
+Result<ShardedState> ShardedState::Create(DatabaseState state,
+                                          bool verify_consistency) {
+  // One analysis serves recognition and every per-block split test; the
+  // scheme is copied out of it before the analysis dies.
+  SchemeAnalysis analysis(state.scheme());
+  RecognitionResult recognition = RecognizeIndependenceReducible(analysis);
+  if (!recognition.accepted) {
+    return FailedPrecondition(
+        "scheme is not independence-reducible: " +
+        recognition.violation->ToString(*recognition.induced));
+  }
+  ShardedState sharded;
+  sharded.scheme_ = state.scheme();
+  sharded.recognition_ = std::move(recognition);
+  sharded.rel_to_block_.assign(state.scheme().size(), 0);
+  IRD_COUNT_ADD(shard.blocks, sharded.recognition_.partition.size());
+  for (size_t b = 0; b < sharded.recognition_.partition.size(); ++b) {
+    const std::vector<size_t>& pool = sharded.recognition_.partition[b];
+    for (size_t rel : pool) {
+      sharded.rel_to_block_[rel] = b;
+    }
+    Result<BlockShard> shard = BlockShard::Build(
+        state, pool, IsSplitFree(analysis, pool), verify_consistency);
+    if (!shard.ok()) return shard.status();
+    sharded.shards_.push_back(std::move(shard).value());
+  }
+  return sharded;
+}
+
+bool ShardedState::AllShardsSplitFree() const {
+  for (const BlockShard& shard : shards_) {
+    if (!shard.split_free()) return false;
+  }
+  return true;
+}
+
+size_t ShardedState::TupleCount() const {
+  size_t n = 0;
+  for (const BlockShard& shard : shards_) {
+    n += shard.TupleCount();
+  }
+  return n;
+}
+
+DatabaseState ShardedState::Materialize() const {
+  DatabaseState out(scheme_);
+  for (const BlockShard& shard : shards_) {
+    for (size_t rel : shard.pool()) {
+      out.SetRelation(rel, shard.substate().relation(rel));
+    }
+  }
+  return out;
+}
+
+ExprPtr ShardedState::PlanFor(const AttributeSet& x) {
+  auto it = plans_.find(x);
+  if (it != plans_.end()) return it->second;
+  ExprPtr plan = BuildBoundedProjectionExpr(scheme_, recognition_, x);
+  plans_.emplace(x, plan);
+  return plan;
+}
+
+PartialRelation ShardedState::TotalProjection(const AttributeSet& x) {
+  IRD_SPAN("shard.query");
+  ExprPtr plan = PlanFor(x);
+  if (plan == nullptr) return PartialRelation(x);
+
+  // Route the plan: which shards do its base relations live in?
+  std::vector<size_t> bases;
+  CollectBaseRelations(*plan, &bases);
+  std::vector<bool> touched(shards_.size(), false);
+  size_t shard_fanout = 0;
+  for (size_t rel : bases) {
+    size_t b = rel_to_block_[rel];
+    if (!touched[b]) {
+      touched[b] = true;
+      ++shard_fanout;
+    }
+  }
+  if (shard_fanout <= 1) {
+    // Block-local read: evaluate against the owning shard alone. The plan
+    // only dereferences its base relations, so no other shard's tuples can
+    // influence the answer.
+    const DatabaseState& local =
+        bases.empty() ? shards_[0].substate()
+                      : shards_[rel_to_block_[bases[0]]].substate();
+    return Evaluate(*plan, local);
+  }
+  // Cross-block read: fan out to exactly the shards the plan references
+  // and evaluate against their merged view.
+  IRD_COUNT(shard.cross_block_queries);
+  DatabaseState merged(scheme_);
+  for (size_t b = 0; b < shards_.size(); ++b) {
+    if (!touched[b]) continue;
+    for (size_t rel : shards_[b].pool()) {
+      merged.SetRelation(rel, shards_[b].substate().relation(rel));
+    }
+  }
+  return Evaluate(*plan, merged);
+}
+
+}  // namespace ird

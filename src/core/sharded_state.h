@@ -1,0 +1,89 @@
+// ShardedState: a database state partitioned along the scheme's
+// independence-reducible partition, one BlockShard per block. The router
+// maps each relation to the shard that owns it; writes are block-local by
+// Theorem 4.2, and cross-block reads (total projection, the QueryEngine
+// path) are answered by fanning out to the shards a plan touches and
+// merging their views. The single-shard IndependenceReducibleMaintainer
+// remains the oracle this engine is differentially compared against
+// (oracle routine `maintenance/sharded-vs-single`).
+
+#ifndef IRD_CORE_SHARDED_STATE_H_
+#define IRD_CORE_SHARDED_STATE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/expression.h"
+#include "core/block_shard.h"
+#include "core/recognition.h"
+#include "core/total_projection.h"
+#include "relation/database_state.h"
+
+namespace ird {
+
+class ShardedState {
+ public:
+  // Shards `state` along the independence-reducible partition (recognition
+  // runs inside; kFailedPrecondition when the scheme is outside the
+  // class). With `verify_consistency`, every block substate is chased once
+  // (Algorithm 1) on construction.
+  static Result<ShardedState> Create(DatabaseState state,
+                                     bool verify_consistency = true);
+
+  const DatabaseScheme& scheme() const { return scheme_; }
+  const RecognitionResult& recognition() const { return recognition_; }
+
+  // The router: which shard owns relation `rel`.
+  size_t BlockOf(size_t rel) const {
+    IRD_CHECK(rel < rel_to_block_.size());
+    return rel_to_block_[rel];
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+  const BlockShard& shard(size_t b) const {
+    IRD_CHECK(b < shards_.size());
+    return shards_[b];
+  }
+  BlockShard& mutable_shard(size_t b) {
+    IRD_CHECK(b < shards_.size());
+    return shards_[b];
+  }
+
+  // Theorem 5.5 per shard: every block split-free <=> the scheme is ctm.
+  bool AllShardsSplitFree() const;
+
+  // Total tuples across all shards.
+  size_t TupleCount() const;
+
+  // Fan-in: reassembles the full database state from the shard substates.
+  // Tuple order within each relation is the shard's insertion order, so a
+  // sharded and a single-shard engine fed the same insert sequence
+  // materialize byte-identical states.
+  DatabaseState Materialize() const;
+
+  // The Theorem 4.1 bounded total projection [X], answered through the
+  // shards: the cached plan's base relations are collected, and when they
+  // all live in one shard the expression is evaluated against that shard's
+  // substate alone (no other shard is touched); otherwise the read is a
+  // cross-block query (`shard.cross_block_queries`) evaluated against the
+  // fan-out/merge of exactly the shards the plan references. Returns the
+  // empty relation on X no lossless subset of the induced scheme covers.
+  PartialRelation TotalProjection(const AttributeSet& x);
+
+  // The cached Theorem 4.1 plan for [X] (nullptr when no lossless subset
+  // of the induced scheme covers X) — the QueryEngine-style plan cache.
+  ExprPtr PlanFor(const AttributeSet& x);
+
+ private:
+  ShardedState() : scheme_(DatabaseScheme::Create()) {}
+
+  DatabaseScheme scheme_;
+  RecognitionResult recognition_;
+  std::vector<BlockShard> shards_;
+  std::vector<size_t> rel_to_block_;
+  std::unordered_map<AttributeSet, ExprPtr, AttributeSetHash> plans_;
+};
+
+}  // namespace ird
+
+#endif  // IRD_CORE_SHARDED_STATE_H_

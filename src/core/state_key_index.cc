@@ -89,6 +89,7 @@ Status StateKeyIndex::AddTuple(size_t rel, const PartialTuple& tuple) {
   }
   for (PerKey& pk : pr->keys) {
     pk.map[HashOn(tuple, pk.key)].push_back(tuple);
+    ++indexed_entries_;
   }
   return OkStatus();
 }

@@ -26,6 +26,13 @@ class StateKeyIndex {
   // Relations covered by this index.
   const std::vector<size_t>& pool() const { return pool_; }
 
+  // True iff `rel` is one of the indexed relations.
+  bool Covers(size_t rel) const { return FindRelation(rel) != nullptr; }
+
+  // Number of tuples registered across all (relation, key) indexes, each
+  // tuple counted once per declared key of its relation.
+  size_t indexed_entries() const { return indexed_entries_; }
+
   // The unique tuple of relation `rel` agreeing with `tuple` on `key`
   // (which must be a declared key of `rel`; `tuple` must be total on it).
   // Returns nullptr if absent.
@@ -51,6 +58,7 @@ class StateKeyIndex {
 
   std::vector<size_t> pool_;
   std::vector<PerRelation> relations_;
+  size_t indexed_entries_ = 0;
 };
 
 }  // namespace ird

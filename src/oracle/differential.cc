@@ -15,6 +15,7 @@
 #include "core/key_equivalent_maintainer.h"
 #include "core/recognition.h"
 #include "core/representative_index.h"
+#include "core/sharded_maintainer.h"
 #include "core/split.h"
 #include "core/total_projection.h"
 #include "engine/scheme_analysis.h"
@@ -43,6 +44,15 @@ std::string PartitionToString(const DatabaseScheme& scheme,
       out += scheme.relation(blocks[b][k]).name;
     }
     out += "}";
+  }
+  return out;
+}
+
+std::string StateToString(const DatabaseState& state) {
+  std::string out;
+  for (size_t i = 0; i < state.scheme().size(); ++i) {
+    out += state.scheme().relation(i).name + ": " +
+           state.relation(i).ToString(state.scheme().universe()) + "\n";
   }
   return out;
 }
@@ -368,6 +378,86 @@ class Comparator {
                "maintenance/alg5", "Algorithm 5 misjudges " + which);
       }
     }
+
+    if (recognition.accepted) {
+      CompareShardedVsSingle(state, recognition, stream);
+    }
+  }
+
+  // The sharded engine vs the single-shard oracle path: the same insert
+  // stream driven through both must produce byte-identical verdicts,
+  // post-insert materialized states and total projections, and the batch
+  // path (InsertBatch, which regroups ops per shard) must match the serial
+  // one op for op.
+  void CompareShardedVsSingle(const DatabaseState& state,
+                              const RecognitionResult& recognition,
+                              const std::vector<InsertInstance>& stream) {
+    constexpr char kRoutine[] = "maintenance/sharded-vs-single";
+    Result<IndependenceReducibleMaintainer> single_r =
+        IndependenceReducibleMaintainer::Create(state);
+    Result<ShardedMaintainer> sharded_r = ShardedMaintainer::Create(state);
+    Expect(single_r.ok() == sharded_r.ok(), kRoutine,
+           "engines disagree on accepting the initial state");
+    if (!single_r.ok() || !sharded_r.ok()) return;
+    IndependenceReducibleMaintainer single = std::move(single_r).value();
+    ShardedMaintainer sharded = std::move(sharded_r).value();
+
+    Expect(single.IsCtm() == sharded.IsCtm(), kRoutine,
+           "engines disagree on ctm (Theorem 5.5 over the shards)");
+    Expect(StateToString(single.state()) ==
+               StateToString(sharded.Materialize()),
+           kRoutine, "initial materialized states differ");
+
+    std::vector<InsertOp> ops;
+    for (const InsertInstance& ins : stream) {
+      std::string which = "insert " + ins.tuple.ToString(scheme_.universe()) +
+                          " into " + scheme_.relation(ins.rel).name;
+      Status sv = single.Insert(ins.rel, ins.tuple);
+      Status dv = sharded.Insert(ins.rel, ins.tuple);
+      Expect(sv.ok() == dv.ok(), kRoutine,
+             "sharded verdict differs from single-shard on " + which);
+      if (sv.ok()) ops.push_back({ins.rel, ins.tuple});
+    }
+    Expect(StateToString(single.state()) ==
+               StateToString(sharded.Materialize()),
+           kRoutine, "post-insert materialized states differ");
+
+    // Total projections through the shard router vs the merged state.
+    std::mt19937_64 rng(options_.seed + 5);
+    std::vector<AttributeId> all = scheme_.AllAttrs().ToVector();
+    for (size_t round = 0; round < options_.projection_targets; ++round) {
+      AttributeSet x;
+      for (AttributeId a : all) {
+        if (rng() % 3 == 0) x.Add(a);
+      }
+      if (x.Empty()) x.Add(all[rng() % all.size()]);
+      PartialRelation merged = TotalProjection(single.state(), recognition, x);
+      PartialRelation fanned = sharded.TotalProjection(x);
+      Expect(fanned.ToString(scheme_.universe()) ==
+                 merged.ToString(scheme_.universe()),
+             kRoutine,
+             "sharded [" + scheme_.universe().Format(x) +
+                 "] differs from the merged-state projection");
+    }
+
+    // Batch path: replaying the accepted ops through InsertBatch on a fresh
+    // engine must accept every op and land on the same materialized state.
+    Result<ShardedMaintainer> batch_r = ShardedMaintainer::Create(state);
+    if (!batch_r.ok()) {
+      Report(kRoutine, "second sharded engine rejected the initial state: " +
+                           batch_r.status().ToString());
+      return;
+    }
+    ShardedMaintainer batch = std::move(batch_r).value();
+    std::vector<Status> verdicts = batch.InsertBatch(ops);
+    for (size_t i = 0; i < verdicts.size(); ++i) {
+      Expect(verdicts[i].ok(), kRoutine,
+             "InsertBatch rejected accepted op " + std::to_string(i) + ": " +
+                 verdicts[i].ToString());
+    }
+    Expect(StateToString(batch.Materialize()) ==
+               StateToString(sharded.Materialize()),
+           kRoutine, "batch-path state differs from the serial sharded path");
   }
 
   const DatabaseScheme& scheme_;

@@ -22,7 +22,11 @@
 //   projection       Theorem 4.1 expressions and RepresentativeIndex vs
 //                    naive [X]
 //   maintenance      Algorithms 2/5, block maintainer, §3.2 expression
-//                    lookup vs re-chasing the enlarged state exhaustively
+//                    lookup vs re-chasing the enlarged state exhaustively;
+//                    sharded-vs-single drives one insert stream through the
+//                    ShardedMaintainer and the single-shard block maintainer
+//                    and demands byte-identical verdicts, materialized
+//                    states and total projections (serial and batch paths)
 
 #ifndef IRD_ORACLE_DIFFERENTIAL_H_
 #define IRD_ORACLE_DIFFERENTIAL_H_

@@ -23,6 +23,22 @@ void DatabaseState::Insert(std::string_view name,
   Insert(idx.value(), std::move(values));
 }
 
+DatabaseState DatabaseState::Restrict(
+    const std::vector<size_t>& pool) const {
+  DatabaseState out(scheme_);
+  for (size_t i : pool) {
+    IRD_CHECK(i < relations_.size());
+    out.relations_[i] = relations_[i];
+  }
+  return out;
+}
+
+void DatabaseState::SetRelation(size_t i, PartialRelation rel) {
+  IRD_CHECK(i < relations_.size());
+  IRD_CHECK(rel.attrs() == relations_[i].attrs());
+  relations_[i] = std::move(rel);
+}
+
 size_t DatabaseState::TupleCount() const {
   size_t n = 0;
   for (const PartialRelation& r : relations_) {

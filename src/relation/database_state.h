@@ -39,6 +39,16 @@ class DatabaseState {
   // Total number of tuples across all relations.
   size_t TupleCount() const;
 
+  // The block substate r_pool of §4.2: a state on the same scheme holding
+  // only the tuples of the relations in `pool` (every other relation stays
+  // empty, so relation indices remain valid across the restriction).
+  DatabaseState Restrict(const std::vector<size_t>& pool) const;
+
+  // Replaces relation i's contents wholesale (the fan-in primitive for
+  // reassembling a state from block substates). `rel.attrs()` must equal
+  // the scheme's attribute set for relation i.
+  void SetRelation(size_t i, PartialRelation rel);
+
   // A tuple on relation i's scheme built from raw values (not inserted).
   PartialTuple MakeTuple(size_t i, std::vector<Value> values) const {
     return PartialTuple(scheme_.relation(i).attrs, std::move(values));

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/block_maintainer.h"
 #include "core/ctm_maintainer.h"
 #include "core/key_equivalent_maintainer.h"
 #include "core/split.h"
@@ -279,6 +280,121 @@ TEST(Algorithm5Test, ProbeCountIndependentOfStateSize) {
   }
   EXPECT_EQ(probes_small, probes_large);
   EXPECT_GT(probes_small, 0u);
+}
+
+// --- Rejection paths through the block router --------------------------------
+
+TEST(RejectionPathTest, SplitBlockAlgorithm2Reject) {
+  // Example 7's rejecting insert, routed through the block maintainer:
+  // Example 4's scheme is a single *split* block, so the "no" must come
+  // from the Algorithm 2 machinery — representative-instance lookups, with
+  // pool keys actually processed.
+  DatabaseScheme s = test::Example4();
+  constexpr Value a = 1, b = 2, c = 3, e = 10, e1 = 11;
+  DatabaseState state(s);
+  state.mutable_relation(0).Add(Tuple(s, "AB", {a, b}));
+  state.mutable_relation(1).Add(Tuple(s, "AC", {a, c}));
+  state.mutable_relation(3).Add(Tuple(s, "EB", {e1, b}));
+  state.mutable_relation(4).Add(Tuple(s, "EC", {e1, c}));
+  Result<IndependenceReducibleMaintainer> m =
+      IndependenceReducibleMaintainer::Create(state);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_FALSE(m->IsCtm());  // the block is split (Theorem 5.5)
+  MaintenanceStats stats;
+  Result<PartialTuple> verdict =
+      m->CheckInsert(2, Tuple(s, "AE", {a, e}), &stats);
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kInconsistent);
+  EXPECT_GT(stats.keys_processed, 0u);
+  EXPECT_GT(stats.lookups, 0u);
+  // A rejected Insert leaves the maintained state untouched.
+  size_t before = m->state().TupleCount();
+  EXPECT_FALSE(m->Insert(2, Tuple(s, "AE", {a, e})).ok());
+  EXPECT_EQ(m->state().TupleCount(), before);
+  EXPECT_TRUE(m->Insert(2, Tuple(s, "AE", {a, e1})).ok());
+}
+
+TEST(RejectionPathTest, SplitFreeBlockAlgorithm5Reject) {
+  // Example 11's block {R5, R6} is split-free, so its "no" comes from
+  // Algorithm 5 — key-index probes (surfaced as stats.lookups) with *no*
+  // Algorithm 2 key processing.
+  DatabaseScheme s = test::Example11();
+  constexpr Value d = 4, e = 5, f = 6, e2 = 7, g = 8;
+  DatabaseState state(s);
+  state.Insert("R5", {d, e, f});
+  Result<IndependenceReducibleMaintainer> m =
+      IndependenceReducibleMaintainer::Create(state);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  MaintenanceStats stats;
+  // D=d already determines E=e; a DEG tuple with E=e2 contradicts it.
+  Result<PartialTuple> verdict =
+      m->CheckInsert(5, Tuple(s, "DEG", {d, e2, g}), &stats);
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kInconsistent);
+  EXPECT_GT(stats.lookups, 0u);
+  EXPECT_EQ(stats.keys_processed, 0u);  // not the Algorithm 2 path
+  size_t before = m->state().TupleCount();
+  EXPECT_FALSE(m->Insert(5, Tuple(s, "DEG", {d, e2, g})).ok());
+  EXPECT_EQ(m->state().TupleCount(), before);
+  EXPECT_TRUE(m->Insert(5, Tuple(s, "DEG", {d, e, g})).ok());
+}
+
+TEST(RejectionPathTest, Alg5RejectionProbesIndependentOfStateSize) {
+  // Constant-time maintenance covers "no" answers too: the probe count of
+  // a rejecting CheckInsert does not grow with the state.
+  DatabaseScheme s = MakeChainScheme(4);
+  std::vector<size_t> probes;
+  for (size_t entities : {20u, 2000u}) {
+    StateGenOptions opt;
+    opt.entities = entities;
+    opt.coverage = 1.0;
+    opt.seed = 31;
+    DatabaseState state = MakeConsistentState(s, opt);
+    Result<CtmMaintainer> m = CtmMaintainer::Create(std::move(state), false);
+    ASSERT_TRUE(m.ok());
+    const PartialTuple& existing = m->state().relation(0).tuples()[0];
+    const AttributeId a1 = *s.universe().Find("A1");
+    const AttributeId a2 = *s.universe().Find("A2");
+    // Same A1 value, contradicting A2: violates the FD A1 -> A2.
+    PartialTuple clash(existing.attrs(),
+                       {existing.At(a1), existing.At(a2) + 1000000});
+    ExtensionStats stats;
+    Result<PartialTuple> verdict = m->CheckInsert(0, clash, &stats);
+    EXPECT_FALSE(verdict.ok());
+    probes.push_back(stats.probes);
+  }
+  EXPECT_GT(probes[0], 0u);
+  EXPECT_EQ(probes[0], probes[1]);
+}
+
+TEST(RejectionPathTest, Alg2RejectionLookupsIndependentOfStateSize) {
+  // Algorithm 2's work per rejection is bounded by the number of distinct
+  // pool keys (here 5: A1..A5), whatever the state holds.
+  DatabaseScheme s = MakeChainScheme(4);
+  std::vector<size_t> lookups;
+  for (size_t entities : {20u, 2000u}) {
+    StateGenOptions opt;
+    opt.entities = entities;
+    opt.coverage = 1.0;
+    opt.seed = 31;
+    DatabaseState state = MakeConsistentState(s, opt);
+    Result<KeyEquivalentMaintainer> m =
+        KeyEquivalentMaintainer::Create(std::move(state));
+    ASSERT_TRUE(m.ok());
+    const PartialTuple& existing = m->state().relation(0).tuples()[0];
+    const AttributeId a1 = *s.universe().Find("A1");
+    const AttributeId a2 = *s.universe().Find("A2");
+    PartialTuple clash(existing.attrs(),
+                       {existing.At(a1), existing.At(a2) + 1000000});
+    MaintenanceStats stats;
+    Result<PartialTuple> verdict = m->CheckInsert(0, clash, &stats);
+    EXPECT_FALSE(verdict.ok());
+    EXPECT_EQ(stats.lookups, stats.keys_processed);
+    EXPECT_LE(stats.lookups, 5u);
+    lookups.push_back(stats.lookups);
+  }
+  EXPECT_GT(lookups[0], 0u);
+  EXPECT_EQ(lookups[0], lookups[1]);
 }
 
 // --- Algorithms 2 and 5 agree on split-free schemes --------------------------

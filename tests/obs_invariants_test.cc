@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/ctm_maintainer.h"
 #include "core/kep.h"
+#include "core/key_equivalent_maintainer.h"
 #include "core/recognition.h"
 #include "engine/scheme_analysis.h"
 #include "obs/export.h"
@@ -166,6 +168,82 @@ TEST(ObsInvariantsTest, ChaseProbesMonotoneInChainLength) {
     EXPECT_GE(probes, previous_probes) << "chain n=" << n;
     previous_probes = probes;
   }
+}
+
+// A clashing tuple on relation 0 of a chain-scheme maintainer state:
+// same A1 value as an existing tuple, contradicting A2 — rejected under
+// the FD A1 -> A2.
+PartialTuple ChainClashTuple(const DatabaseScheme& scheme,
+                             const DatabaseState& state) {
+  const PartialTuple& existing = state.relation(0).tuples()[0];
+  const AttributeId a1 = *scheme.universe().Find("A1");
+  const AttributeId a2 = *scheme.universe().Find("A2");
+  return PartialTuple(existing.attrs(),
+                      {existing.At(a1), existing.At(a2) + 1000000});
+}
+
+// Theorem 5.5 made counter-executable, on the rejection path: one
+// rejecting Algorithm 5 check bumps maintain.alg5.checks and
+// maintain.alg5.rejects exactly once, and its probe tally is identical on
+// a 20-entity and a 1000-entity state (coverage 1.0 keeps the extension
+// structure fixed) — the "constant" in constant-time maintenance.
+TEST(ObsInvariantsTest, Alg5RejectionConstantTimeCounters) {
+  IRD_REQUIRE_OBS();
+  DatabaseScheme scheme = MakeChainScheme(4);
+  std::vector<uint64_t> probes;
+  for (size_t entities : {20u, 1000u}) {
+    StateGenOptions opt;
+    opt.entities = entities;
+    opt.coverage = 1.0;
+    opt.seed = 53;
+    DatabaseState state = MakeConsistentState(scheme, opt);
+    Result<CtmMaintainer> m = CtmMaintainer::Create(std::move(state), false);
+    ASSERT_TRUE(m.ok());
+    PartialTuple clash = ChainClashTuple(scheme, m->state());
+    obs::Snapshot delta =
+        Measure([&] { EXPECT_FALSE(m->CheckInsert(0, clash).ok()); });
+    EXPECT_EQ(DeltaOf(delta, "maintain.alg5.checks"), 1u)
+        << "entities=" << entities;
+    EXPECT_EQ(DeltaOf(delta, "maintain.alg5.rejects"), 1u)
+        << "entities=" << entities;
+    probes.push_back(DeltaOf(delta, "maintain.alg5.probes"));
+  }
+  EXPECT_GT(probes[0], 0u);
+  EXPECT_EQ(probes[0], probes[1]);
+}
+
+// Algorithm 2's rejection cost is bounded by the distinct pool keys (the
+// chain of length 4 has 5) and is state-size independent: every processed
+// key does exactly one representative-instance lookup.
+TEST(ObsInvariantsTest, Alg2RejectionBoundedByPoolKeys) {
+  IRD_REQUIRE_OBS();
+  DatabaseScheme scheme = MakeChainScheme(4);
+  std::vector<uint64_t> lookups;
+  for (size_t entities : {20u, 1000u}) {
+    StateGenOptions opt;
+    opt.entities = entities;
+    opt.coverage = 1.0;
+    opt.seed = 53;
+    DatabaseState state = MakeConsistentState(scheme, opt);
+    Result<KeyEquivalentMaintainer> m =
+        KeyEquivalentMaintainer::Create(std::move(state));
+    ASSERT_TRUE(m.ok());
+    PartialTuple clash = ChainClashTuple(scheme, m->state());
+    obs::Snapshot delta =
+        Measure([&] { EXPECT_FALSE(m->CheckInsert(0, clash).ok()); });
+    EXPECT_EQ(DeltaOf(delta, "maintain.alg2.checks"), 1u)
+        << "entities=" << entities;
+    EXPECT_EQ(DeltaOf(delta, "maintain.alg2.rejects"), 1u)
+        << "entities=" << entities;
+    EXPECT_EQ(DeltaOf(delta, "maintain.alg2.lookups"),
+              DeltaOf(delta, "maintain.alg2.keys_processed"))
+        << "entities=" << entities;
+    EXPECT_LE(DeltaOf(delta, "maintain.alg2.lookups"), 5u)
+        << "entities=" << entities;
+    lookups.push_back(DeltaOf(delta, "maintain.alg2.lookups"));
+  }
+  EXPECT_GT(lookups[0], 0u);
+  EXPECT_EQ(lookups[0], lookups[1]);
 }
 
 // Recognition on the paper's flagship examples must drive every phase the
