@@ -1,0 +1,427 @@
+// ird_arch_lint: include-graph layering checker. Scans C++ sources under
+// one or more roots, extracts every quoted #include, maps both endpoints
+// to src/ modules (first path component), and checks the edges against the
+// declarative spec in docs/layering.txt: per-module allow-lists in stack
+// order, hard forbid pairs, facade headers, and per-file waivers (which
+// are themselves checked for staleness). A pure text scan — no compiler,
+// no compile_commands.json — so the gate runs identically on any host.
+//
+//   ird_arch_lint [--spec FILE] [--json] [--quiet] DIR...
+//
+//   --spec FILE  layering spec (default: docs/layering.txt)
+//   --json       machine-readable report on stdout (the CI gate's format)
+//   --quiet      suppress the ok-summary on success
+//
+// Each violation is reported with the offending include site and, when
+// the edge is buried in a header, the include chain that drags it into a
+// translation unit (entry .cc -> header -> ... -> offending include).
+//
+// Exit status: 0 = clean, 1 = violations, 2 = usage/spec/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Spec {
+  // Module name -> rank (declaration order) and allowed dep modules.
+  std::vector<std::string> order;
+  std::map<std::string, std::set<std::string>> allow;
+  std::set<std::pair<std::string, std::string>> forbid;
+  // Facade module -> the headers outsiders may include.
+  std::map<std::string, std::set<std::string>> facade;
+  // (file, to-module) -> rationale; `used` tracks staleness.
+  struct Waiver {
+    std::string rationale;
+    bool used = false;
+  };
+  std::map<std::pair<std::string, std::string>, Waiver> waivers;
+
+  bool HasModule(const std::string& m) const { return allow.count(m) > 0; }
+};
+
+struct IncludeEdge {
+  std::string file;  // root-relative path of the including file
+  int line;
+  std::string header;  // the quoted include string, src-relative
+};
+
+struct Violation {
+  std::string file;
+  int line;
+  std::string header;
+  std::string rule;  // "layer" | "forbid" | "facade" | "stale-waiver"
+  std::string message;
+  std::vector<std::string> chain;  // entry .cc first, offending file last
+};
+
+std::vector<std::string> SplitWs(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+// Parses the spec. Directives may continue onto lines that start with
+// whitespace (used for waiver rationales).
+bool ParseSpec(const std::string& path, Spec* spec, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open spec " + path;
+    return false;
+  }
+  std::vector<std::string> directives;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    bool continuation = !line.empty() && (line[0] == ' ' || line[0] == '\t');
+    std::vector<std::string> tokens = SplitWs(line);
+    if (tokens.empty()) continue;
+    std::string joined;
+    for (const std::string& t : tokens) {
+      if (!joined.empty()) joined += ' ';
+      joined += t;
+    }
+    if (continuation && !directives.empty()) {
+      directives.back() += ' ' + joined;
+    } else {
+      directives.push_back(joined);
+    }
+  }
+  for (const std::string& d : directives) {
+    std::vector<std::string> tok = SplitWs(d);
+    const std::string& kind = tok[0];
+    if (kind == "module") {
+      if (tok.size() < 3 || tok[2] != ":") {
+        *error = "bad module directive: " + d;
+        return false;
+      }
+      const std::string& name = tok[1];
+      if (spec->HasModule(name)) {
+        *error = "module declared twice: " + name;
+        return false;
+      }
+      std::set<std::string> deps;
+      for (size_t i = 3; i < tok.size(); ++i) {
+        if (!spec->HasModule(tok[i])) {
+          // Deps must be declared earlier, which keeps the spec acyclic.
+          *error = "module " + name + " depends on undeclared (or later) " +
+                   "module " + tok[i];
+          return false;
+        }
+        deps.insert(tok[i]);
+      }
+      spec->order.push_back(name);
+      spec->allow[name] = std::move(deps);
+    } else if (kind == "forbid") {
+      if (tok.size() != 3) {
+        *error = "bad forbid directive: " + d;
+        return false;
+      }
+      spec->forbid.insert({tok[1], tok[2]});
+    } else if (kind == "facade") {
+      if (tok.size() < 4 || tok[2] != ":") {
+        *error = "bad facade directive: " + d;
+        return false;
+      }
+      for (size_t i = 3; i < tok.size(); ++i) {
+        spec->facade[tok[1]].insert(tok[i]);
+      }
+    } else if (kind == "except") {
+      if (tok.size() < 4 || tok[3] != ":") {
+        *error = "bad except directive (need: except FILE MODULE : why): " +
+                 d;
+        return false;
+      }
+      std::string rationale;
+      for (size_t i = 4; i < tok.size(); ++i) {
+        if (!rationale.empty()) rationale += ' ';
+        rationale += tok[i];
+      }
+      spec->waivers[{tok[1], tok[2]}] = Spec::Waiver{rationale, false};
+    } else {
+      *error = "unknown directive: " + d;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ModuleOf(const std::string& path) {
+  size_t slash = path.find('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// Scans one root; paths are reported root-relative with '/' separators.
+bool ScanRoot(const fs::path& root, std::vector<IncludeEdge>* edges,
+              std::set<std::string>* files, std::string* error) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    *error = "not a directory: " + root.string();
+    return false;
+  }
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      *error = "walking " + root.string() + ": " + ec.message();
+      return false;
+    }
+    if (!it->is_regular_file()) continue;
+    std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    std::string rel =
+        it->path().lexically_relative(root).generic_string();
+    files->insert(rel);
+    std::ifstream in(it->path());
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      size_t pos = line.find_first_not_of(" \t");
+      if (pos == std::string::npos || line[pos] != '#') continue;
+      size_t inc = line.find("include", pos + 1);
+      if (inc == std::string::npos) continue;
+      size_t open = line.find('"', inc);
+      if (open == std::string::npos) continue;
+      size_t close = line.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      edges->push_back(
+          IncludeEdge{rel, lineno, line.substr(open + 1, close - open - 1)});
+    }
+  }
+  return true;
+}
+
+// Shortest path from any entry .cc to `target` through the scanned
+// include graph, so a violation buried in a header is reported with the
+// chain that pulls it into a translation unit.
+std::vector<std::string> ChainTo(
+    const std::string& target,
+    const std::map<std::string, std::vector<std::string>>& reverse_includes) {
+  if (target.size() > 3 && target.rfind(".cc") == target.size() - 3) {
+    return {target};
+  }
+  std::map<std::string, std::string> parent;
+  std::vector<std::string> queue{target};
+  parent[target] = target;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const std::string cur = queue[head];
+    auto it = reverse_includes.find(cur);
+    if (it == reverse_includes.end()) continue;
+    for (const std::string& from : it->second) {
+      if (parent.count(from)) continue;
+      parent[from] = cur;
+      if (from.rfind(".cc") == from.size() - 3) {
+        std::vector<std::string> chain;
+        for (std::string p = from;; p = parent[p]) {
+          chain.push_back(p);
+          if (p == target) break;
+        }
+        return chain;
+      }
+      queue.push_back(from);
+    }
+  }
+  return {target};
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path = "docs/layering.txt";
+  bool json = false;
+  bool quiet = false;
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
+      spec_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: ird_arch_lint [--spec FILE] [--json] [--quiet] "
+                   "DIR...\n");
+      return 2;
+    } else {
+      roots.emplace_back(argv[i]);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "ird_arch_lint: no scan roots given\n");
+    return 2;
+  }
+
+  Spec spec;
+  std::string error;
+  if (!ParseSpec(spec_path, &spec, &error)) {
+    std::fprintf(stderr, "ird_arch_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::vector<IncludeEdge> edges;
+  std::set<std::string> files;
+  for (const fs::path& root : roots) {
+    if (!ScanRoot(root, &edges, &files, &error)) {
+      std::fprintf(stderr, "ird_arch_lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  // file -> files that include it (both sides root-relative), for chain
+  // reconstruction. Include strings are src-relative, which matches the
+  // root-relative name when the scan root is src/ (or mimics its layout).
+  std::map<std::string, std::vector<std::string>> reverse_includes;
+  for (const IncludeEdge& e : edges) {
+    if (files.count(e.header)) {
+      reverse_includes[e.header].push_back(e.file);
+    }
+  }
+
+  std::vector<Violation> violations;
+  auto waived = [&](const std::string& file, const std::string& to) {
+    auto it = spec.waivers.find({file, to});
+    if (it == spec.waivers.end()) return false;
+    it->second.used = true;
+    return true;
+  };
+
+  for (const IncludeEdge& e : edges) {
+    const std::string from = ModuleOf(e.file);
+    const std::string to = ModuleOf(e.header);
+    if (!spec.HasModule(to)) continue;  // not a layered include
+    if (from == to) continue;
+
+    auto report = [&](const char* rule, std::string message) {
+      violations.push_back(Violation{e.file, e.line, e.header, rule,
+                                     std::move(message),
+                                     ChainTo(e.file, reverse_includes)});
+    };
+
+    if (spec.forbid.count({from, to})) {
+      if (!waived(e.file, to)) {
+        report("forbid",
+               "module '" + from + "' may never include module '" + to +
+                   "' (hard ban)");
+      }
+      continue;
+    }
+    if (spec.HasModule(from) && !spec.allow.at(from).count(to)) {
+      if (!waived(e.file, to)) {
+        report("layer", "module '" + from + "' does not list '" + to +
+                            "' as a dependency in the layering spec");
+      }
+      continue;
+    }
+    auto fac = spec.facade.find(to);
+    if (fac != spec.facade.end() && !fac->second.count(e.header)) {
+      if (!waived(e.file, to)) {
+        std::string doors;
+        for (const std::string& h : fac->second) {
+          if (!doors.empty()) doors += " or ";
+          doors += h;
+        }
+        report("facade", "'" + e.header + "' is internal to module '" + to +
+                             "'; include " + doors + " instead");
+      }
+    }
+  }
+
+  // A waiver nobody needs is rot waiting to hide a future violation.
+  for (const auto& [key, waiver] : spec.waivers) {
+    if (!waiver.used && files.count(key.first)) {
+      violations.push_back(Violation{
+          key.first, 0, "", "stale-waiver",
+          "waiver for includes of '" + key.second +
+              "' is unused; delete it from the spec",
+          {key.first}});
+    }
+  }
+
+  std::stable_sort(violations.begin(), violations.end(),
+                   [](const Violation& a, const Violation& b) {
+                     return std::tie(a.file, a.line) <
+                            std::tie(b.file, b.line);
+                   });
+
+  if (json) {
+    std::printf("{\n  \"files_scanned\": %zu,\n  \"includes\": %zu,\n",
+                files.size(), edges.size());
+    std::printf("  \"violations\": [");
+    for (size_t i = 0; i < violations.size(); ++i) {
+      const Violation& v = violations[i];
+      std::printf("%s\n    {\"file\": \"%s\", \"line\": %d, "
+                  "\"include\": \"%s\", \"rule\": \"%s\", "
+                  "\"message\": \"%s\", \"chain\": [",
+                  i ? "," : "", JsonEscape(v.file).c_str(), v.line,
+                  JsonEscape(v.header).c_str(), v.rule.c_str(),
+                  JsonEscape(v.message).c_str());
+      for (size_t j = 0; j < v.chain.size(); ++j) {
+        std::printf("%s\"%s\"", j ? ", " : "",
+                    JsonEscape(v.chain[j]).c_str());
+      }
+      std::printf("]}");
+    }
+    std::printf("%s]\n}\n", violations.empty() ? "" : "\n  ");
+  } else {
+    for (const Violation& v : violations) {
+      if (v.line > 0) {
+        std::printf("%s:%d: #include \"%s\": %s [%s]\n", v.file.c_str(),
+                    v.line, v.header.c_str(), v.message.c_str(),
+                    v.rule.c_str());
+      } else {
+        std::printf("%s: %s [%s]\n", v.file.c_str(), v.message.c_str(),
+                    v.rule.c_str());
+      }
+      if (v.chain.size() > 1) {
+        std::printf("  include chain:");
+        for (const std::string& hop : v.chain) {
+          std::printf(" %s ->", hop.c_str());
+        }
+        std::printf(" %s\n", v.header.c_str());
+      }
+    }
+    if (!quiet || !violations.empty()) {
+      std::printf("ird_arch_lint: %zu file(s), %zu include(s), "
+                  "%zu violation(s)\n",
+                  files.size(), edges.size(), violations.size());
+    }
+  }
+  return violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Portable wrappers over Clang's capability (thread-safety) attributes.
+// Annotating data with the mutex that guards it, and functions with the
+// locks they require, turns the locking discipline documented in comments
+// into facts the compiler checks: a clang build with -Wthread-safety (on
+// by default here whenever the compiler is Clang, and fatal under
+// IRD_STRICT_WARNINGS) rejects any access to IRD_GUARDED_BY data without
+// the named capability held, any IRD_REQUIRES call without it, and any
+// release of a capability the caller does not hold. On compilers without
+// the attributes (GCC) every macro expands to nothing, so annotated code
+// is plain C++ everywhere else.
+//
+// The annotated primitives that carry these capabilities are ird::Mutex /
+// ird::MutexLock / ird::CondVar in base/mutex.h. The misuse patterns the
+// analysis rejects are pinned as negative-compile tests in
+// tests/thread_safety_compile_test/; the full gate catalogue is
+// docs/STATIC_ANALYSIS.md.
+
+#ifndef IRD_BASE_THREAD_ANNOTATIONS_H_
+#define IRD_BASE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define IRD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IRD_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// --- Capability declarations (types) ---------------------------------
+
+// Marks a type as a capability ("mutex"): it can be held, acquired and
+// released, and other annotations may name instances of it.
+#define IRD_CAPABILITY(name) IRD_THREAD_ANNOTATION(capability(name))
+
+// Marks an RAII type whose constructor acquires and destructor releases a
+// capability (ird::MutexLock).
+#define IRD_SCOPED_CAPABILITY IRD_THREAD_ANNOTATION(scoped_lockable)
+
+// --- Data annotations -------------------------------------------------
+
+// The declared field may only be read or written while holding `x`.
+#define IRD_GUARDED_BY(x) IRD_THREAD_ANNOTATION(guarded_by(x))
+
+// The pointee of the declared pointer field is guarded by `x` (the pointer
+// itself is not).
+#define IRD_PT_GUARDED_BY(x) IRD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering edges, checked when both sides are annotated.
+#define IRD_ACQUIRED_BEFORE(...) \
+  IRD_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define IRD_ACQUIRED_AFTER(...) \
+  IRD_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// --- Function annotations ---------------------------------------------
+
+// The caller must hold the named capabilities (exclusively / shared).
+#define IRD_REQUIRES(...) \
+  IRD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IRD_REQUIRES_SHARED(...) \
+  IRD_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires / releases the named capabilities itself.
+#define IRD_ACQUIRE(...) \
+  IRD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IRD_ACQUIRE_SHARED(...) \
+  IRD_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define IRD_RELEASE(...) \
+  IRD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IRD_RELEASE_SHARED(...) \
+  IRD_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability iff it returns `result`.
+#define IRD_TRY_ACQUIRE(result, ...) \
+  IRD_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+// The caller must NOT hold the named capabilities (deadlock guard for
+// functions that acquire them internally).
+#define IRD_EXCLUDES(...) IRD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Asserts (without acquiring) that the capability is held — for runtime
+// facts the analysis cannot see, e.g. "only the owning thread runs this".
+#define IRD_ASSERT_CAPABILITY(x) \
+  IRD_THREAD_ANNOTATION(assert_capability(x))
+
+// The function returns a reference to the named capability (accessors that
+// expose a member mutex, e.g. ird::Mutex::native()).
+#define IRD_RETURN_CAPABILITY(x) IRD_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use needs a
+// comment explaining which invariant the analysis cannot express.
+#define IRD_NO_THREAD_SAFETY_ANALYSIS \
+  IRD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // IRD_BASE_THREAD_ANNOTATIONS_H_

@@ -1,5 +1,6 @@
 #include "core/sharded_maintainer.h"
 
+#include "base/mutex.h"
 #include "obs/obs.h"
 
 namespace ird {
@@ -25,6 +26,7 @@ Status ShardedMaintainer::Insert(size_t rel, const PartialTuple& tuple) {
 std::vector<Status> ShardedMaintainer::InsertBatch(
     const std::vector<InsertOp>& ops) {
   IRD_SPAN("shard.batch");
+  MutexLock batch_lock(*batch_mu_);
   std::vector<Status> verdicts(ops.size());
   // Group op indices by owning shard, preserving arrival order per shard.
   std::vector<std::vector<size_t>> by_shard(state_.shard_count());

@@ -13,6 +13,8 @@
 #include <memory>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "core/sharded_state.h"
 #include "engine/batch.h"
 
@@ -48,7 +50,11 @@ class ShardedMaintainer {
   // shards running concurrently on the pool. Returns one verdict per op,
   // in op order — identical to looping Insert over `ops` serially, at any
   // job count, because no shard ever reads another shard's state.
-  std::vector<Status> InsertBatch(const std::vector<InsertOp>& ops);
+  // Overlapping calls from different threads are serialized on batch_mu_
+  // (the pool's handout state is one-batch-at-a-time); interleaving
+  // InsertBatch with plain Insert remains the caller's problem.
+  std::vector<Status> InsertBatch(const std::vector<InsertOp>& ops)
+      IRD_EXCLUDES(batch_mu_);
 
   const ShardedState& sharded_state() const { return state_; }
 
@@ -75,6 +81,12 @@ class ShardedMaintainer {
         pool_(std::make_unique<BatchAnalyzer>(jobs)) {}
 
   ShardedState state_;
+  // Serializes InsertBatch callers: BatchAnalyzer::ForEachIndex is not
+  // reentrant, and overlapping batches would interleave two shard
+  // handouts. Behind a unique_ptr because the maintainer is move-
+  // constructed out of Create. Acquired for the whole batch, so the
+  // annotated pool_ below is only ever driven by one batch at a time.
+  std::unique_ptr<Mutex> batch_mu_ = std::make_unique<Mutex>();
   std::unique_ptr<BatchAnalyzer> pool_;
 };
 

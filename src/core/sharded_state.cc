@@ -1,5 +1,6 @@
 #include "core/sharded_state.h"
 
+#include "base/mutex.h"
 #include "core/split.h"
 #include "engine/scheme_analysis.h"
 #include "obs/obs.h"
@@ -46,6 +47,12 @@ Result<ShardedState> ShardedState::Create(DatabaseState state,
     if (!shard.ok()) return shard.status();
     sharded.shards_.push_back(std::move(shard).value());
   }
+  // Warm the lazy FD caches (the scheme's and the induced scheme's) while
+  // construction is still single-threaded: plan compilation under
+  // concurrent TotalProjection readers calls key_dependencies() on both,
+  // and the first call mutates the mutable cache members.
+  (void)sharded.scheme_.key_dependencies();
+  (void)sharded.recognition_.induced->key_dependencies();
   return sharded;
 }
 
@@ -75,11 +82,17 @@ DatabaseState ShardedState::Materialize() const {
 }
 
 ExprPtr ShardedState::PlanFor(const AttributeSet& x) {
-  auto it = plans_.find(x);
-  if (it != plans_.end()) return it->second;
+  {
+    MutexLock lock(*plans_mu_);
+    auto it = plans_.find(x);
+    if (it != plans_.end()) return it->second;
+  }
+  // Compile outside the lock so concurrent readers are not serialized
+  // behind plan compilation; emplace hands a losing racer the winner's
+  // (identical) plan.
   ExprPtr plan = BuildBoundedProjectionExpr(scheme_, recognition_, x);
-  plans_.emplace(x, plan);
-  return plan;
+  MutexLock lock(*plans_mu_);
+  return plans_.emplace(x, std::move(plan)).first->second;
 }
 
 PartialRelation ShardedState::TotalProjection(const AttributeSet& x) {

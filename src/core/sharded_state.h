@@ -10,10 +10,13 @@
 #ifndef IRD_CORE_SHARDED_STATE_H_
 #define IRD_CORE_SHARDED_STATE_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "algebra/expression.h"
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "core/block_shard.h"
 #include "core/recognition.h"
 #include "core/total_projection.h"
@@ -68,11 +71,17 @@ class ShardedState {
   // cross-block query (`shard.cross_block_queries`) evaluated against the
   // fan-out/merge of exactly the shards the plan references. Returns the
   // empty relation on X no lossless subset of the induced scheme covers.
-  PartialRelation TotalProjection(const AttributeSet& x);
+  //
+  // Safe to call concurrently with other TotalProjection/PlanFor calls:
+  // the plan cache is the only state this read path mutates, and it is
+  // guarded (the ird_serve cross-request cache will hit exactly this
+  // shape). Concurrent with writers (Insert/mutable_shard) it is not.
+  PartialRelation TotalProjection(const AttributeSet& x)
+      IRD_EXCLUDES(plans_mu_);
 
   // The cached Theorem 4.1 plan for [X] (nullptr when no lossless subset
   // of the induced scheme covers X) — the QueryEngine-style plan cache.
-  ExprPtr PlanFor(const AttributeSet& x);
+  ExprPtr PlanFor(const AttributeSet& x) IRD_EXCLUDES(plans_mu_);
 
  private:
   ShardedState() : scheme_(DatabaseScheme::Create()) {}
@@ -81,7 +90,13 @@ class ShardedState {
   RecognitionResult recognition_;
   std::vector<BlockShard> shards_;
   std::vector<size_t> rel_to_block_;
-  std::unordered_map<AttributeSet, ExprPtr, AttributeSetHash> plans_;
+  // Plan compilation is deterministic, so a losing racer recomputing an
+  // entry lands on an equivalent plan; the mutex only protects the map
+  // structure itself. Behind a unique_ptr because ShardedState is move-
+  // constructed out of Create (a Mutex member would pin it in place).
+  std::unique_ptr<Mutex> plans_mu_ = std::make_unique<Mutex>();
+  std::unordered_map<AttributeSet, ExprPtr, AttributeSetHash> plans_
+      IRD_GUARDED_BY(plans_mu_);
 };
 
 }  // namespace ird

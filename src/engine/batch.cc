@@ -1,5 +1,6 @@
 #include "engine/batch.h"
 
+#include "base/mutex.h"
 #include "obs/obs.h"
 
 namespace ird {
@@ -14,19 +15,19 @@ BatchAnalyzer::BatchAnalyzer(size_t jobs) {
 
 BatchAnalyzer::~BatchAnalyzer() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void BatchAnalyzer::Worker() {
   uint64_t seen = 0;
+  mu_.Lock();
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
-    if (shutdown_) return;
+    while (!shutdown_ && generation_ == seen) work_cv_.Wait(mu_);
+    if (shutdown_) break;
     seen = generation_;
     const std::function<void(size_t)>* fn = fn_;
     const size_t count = count_;
@@ -34,18 +35,19 @@ void BatchAnalyzer::Worker() {
     // drain loop — ForEachIndex must not return (and a new batch must not
     // reuse fn_/count_) while any worker may still claim an index.
     ++active_workers_;
-    lock.unlock();
+    mu_.Unlock();
     size_t processed = 0;
     for (size_t i; (i = next_.fetch_add(1, std::memory_order_relaxed)) <
                    count;) {
       (*fn)(i);
       ++processed;
     }
-    lock.lock();
+    mu_.Lock();
     done_ += processed;
     --active_workers_;
-    if (done_ == count_ && active_workers_ == 0) done_cv_.notify_all();
+    if (done_ == count_ && active_workers_ == 0) done_cv_.NotifyAll();
   }
+  mu_.Unlock();
 }
 
 void BatchAnalyzer::ForEachIndex(size_t count,
@@ -58,14 +60,14 @@ void BatchAnalyzer::ForEachIndex(size_t count,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = &fn;
     count_ = count;
     done_ = 0;
     next_.store(0, std::memory_order_relaxed);
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The caller is the final worker of the batch.
   size_t processed = 0;
   for (size_t i;
@@ -73,10 +75,9 @@ void BatchAnalyzer::ForEachIndex(size_t count,
     fn(i);
     ++processed;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   done_ += processed;
-  done_cv_.wait(lock,
-                [&] { return done_ == count_ && active_workers_ == 0; });
+  while (!(done_ == count_ && active_workers_ == 0)) done_cv_.Wait(mu_);
   fn_ = nullptr;
 }
 

@@ -13,20 +13,24 @@
 //   * the only cross-thread state the payload touches is the obs registry
 //     (relaxed atomics, thread-safe by design).
 //
+// The batch handout state is guarded by mu_ except the atomic cursor —
+// and since the fields carry IRD_GUARDED_BY(mu_), that sentence is a
+// compiler-checked fact under clang -Wthread-safety, not a comment.
+//
 // ForEachIndex blocks until every index has run. Payloads must not throw.
 
 #ifndef IRD_ENGINE_BATCH_H_
 #define IRD_ENGINE_BATCH_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "engine/scheme_analysis.h"
 
 namespace ird {
@@ -37,7 +41,7 @@ class BatchAnalyzer {
   // worker during ForEachIndex. jobs <= 1 spawns nothing and runs every
   // batch inline (no threads, no synchronization).
   explicit BatchAnalyzer(size_t jobs);
-  ~BatchAnalyzer();
+  ~BatchAnalyzer() IRD_EXCLUDES(mu_);
 
   BatchAnalyzer(const BatchAnalyzer&) = delete;
   BatchAnalyzer& operator=(const BatchAnalyzer&) = delete;
@@ -46,27 +50,31 @@ class BatchAnalyzer {
 
   // Runs fn(i) exactly once for every i in [0, count), distributed over
   // the pool, and blocks until all of them finished. Not reentrant: one
-  // batch at a time per analyzer.
-  void ForEachIndex(size_t count, const std::function<void(size_t)>& fn);
+  // batch at a time per analyzer (callers that may overlap serialize
+  // themselves — see ShardedMaintainer::batch_mu_).
+  void ForEachIndex(size_t count, const std::function<void(size_t)>& fn)
+      IRD_EXCLUDES(mu_);
 
   // Convenience: one fresh SchemeAnalysis per scheme, built and consumed
   // on whichever worker claims the index.
   void AnalyzeEach(const std::vector<const DatabaseScheme*>& schemes,
-                   const std::function<void(size_t, SchemeAnalysis&)>& fn);
+                   const std::function<void(size_t, SchemeAnalysis&)>& fn)
+      IRD_EXCLUDES(mu_);
 
  private:
-  void Worker();
+  void Worker() IRD_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  // Batch state, guarded by mu_ except for the atomic cursor.
-  uint64_t generation_ = 0;
-  const std::function<void(size_t)>* fn_ = nullptr;
-  size_t count_ = 0;
-  size_t done_ = 0;
-  size_t active_workers_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  // Batch handout state. Everything below except the atomic cursor is
+  // written only with mu_ held.
+  uint64_t generation_ IRD_GUARDED_BY(mu_) = 0;
+  const std::function<void(size_t)>* fn_ IRD_GUARDED_BY(mu_) = nullptr;
+  size_t count_ IRD_GUARDED_BY(mu_) = 0;
+  size_t done_ IRD_GUARDED_BY(mu_) = 0;
+  size_t active_workers_ IRD_GUARDED_BY(mu_) = 0;
+  bool shutdown_ IRD_GUARDED_BY(mu_) = false;
   std::atomic<size_t> next_{0};
   std::vector<std::thread> workers_;
 };

@@ -2,17 +2,19 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace ird::obs {
 
 namespace {
 
 struct RegistryState {
-  std::mutex mu;
+  Mutex mu;
   // unique_ptr keeps Counter addresses stable across rehashes; the vector
   // preserves registration order (Snapshot re-sorts by name).
-  std::vector<std::unique_ptr<Counter>> counters;
+  std::vector<std::unique_ptr<Counter>> counters IRD_GUARDED_BY(mu);
 };
 
 RegistryState& State() {
@@ -26,7 +28,7 @@ RegistryState& State() {
 
 Counter& CounterRegistry::Get(std::string_view name) {
   RegistryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   for (const std::unique_ptr<Counter>& c : state.counters) {
     if (c->name() == name) return *c;
   }
@@ -38,7 +40,7 @@ std::vector<std::pair<std::string, uint64_t>> CounterRegistry::Snapshot() {
   RegistryState& state = State();
   std::vector<std::pair<std::string, uint64_t>> out;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     out.reserve(state.counters.size());
     for (const std::unique_ptr<Counter>& c : state.counters) {
       out.emplace_back(c->name(), c->value());
@@ -50,7 +52,7 @@ std::vector<std::pair<std::string, uint64_t>> CounterRegistry::Snapshot() {
 
 void CounterRegistry::ResetAll() {
   RegistryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   for (const std::unique_ptr<Counter>& c : state.counters) {
     c->Reset();
   }

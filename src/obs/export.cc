@@ -159,7 +159,12 @@ Status WriteStringToFile(const std::string& path,
   return OkStatus();
 }
 
+// The getenv calls below are read-only lookups from single-threaded
+// process setup/teardown (tool main entry and exit); nothing in the
+// library ever setenv's, so the concurrency-mt-unsafe findings are
+// suppressed here rather than globally (see .clang-tidy).
 void InitFromEnv() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (std::getenv("IRD_TRACE_OUT") != nullptr) {
     Trace::SetEnabled(true);
   }
@@ -167,6 +172,7 @@ void InitFromEnv() {
 
 int ExportFromEnv(const std::string& tool) {
   int rc = 0;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* path = std::getenv("IRD_TRACE_OUT")) {
     Status written = WriteStringToFile(path, RenderChromeTrace());
     if (!written.ok()) {
@@ -175,6 +181,7 @@ int ExportFromEnv(const std::string& tool) {
       rc = 1;
     }
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* path = std::getenv("IRD_STATS_OUT")) {
     std::string json = RenderJson(TakeSnapshot());
     std::string body = "{\"bench\":\"" + tool + "\"," + json.substr(1);
@@ -185,6 +192,7 @@ int ExportFromEnv(const std::string& tool) {
       rc = 1;
     }
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* flag = std::getenv("IRD_STATS");
       flag != nullptr && flag[0] != '\0' && flag[0] != '0') {
     std::fprintf(stderr, "=== %s instrumentation summary ===\n%s",

@@ -2,15 +2,17 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace ird::obs {
 
 namespace {
 
 struct SpanRegistryState {
-  std::mutex mu;
-  std::vector<std::unique_ptr<SpanSite>> sites;
+  Mutex mu;
+  std::vector<std::unique_ptr<SpanSite>> sites IRD_GUARDED_BY(mu);
 };
 
 SpanRegistryState& Sites() {
@@ -22,18 +24,18 @@ SpanRegistryState& Sites() {
 // against Snapshot/Clear from other threads; appends lock only this mutex
 // (uncontended in steady state), never the global one.
 struct ThreadBuffer {
-  std::mutex mu;
-  uint32_t tid = 0;
-  std::vector<TraceEvent> events;
-  uint64_t dropped = 0;
+  Mutex mu;
+  uint32_t tid = 0;  // assigned once at registration, then read-only
+  std::vector<TraceEvent> events IRD_GUARDED_BY(mu);
+  uint64_t dropped IRD_GUARDED_BY(mu) = 0;
 };
 
 struct TraceState {
-  std::mutex mu;  // guards live/retired/next_tid; acquired before buffer mu
-  uint32_t next_tid = 1;
+  Mutex mu;  // guards live/retired/next_tid; acquired before any buffer mu
+  uint32_t next_tid IRD_GUARDED_BY(mu) = 1;
   std::atomic<size_t> capacity_per_thread{1 << 20};
-  std::vector<ThreadBuffer*> live;
-  std::vector<ThreadTrace> retired;
+  std::vector<ThreadBuffer*> live IRD_GUARDED_BY(mu);
+  std::vector<ThreadTrace> retired IRD_GUARDED_BY(mu);
 };
 
 TraceState& GlobalTrace() {
@@ -50,8 +52,8 @@ struct ThreadBufferOwner {
   ~ThreadBufferOwner() {
     if (!registered) return;
     TraceState& state = GlobalTrace();
-    std::lock_guard<std::mutex> global_lock(state.mu);
-    std::lock_guard<std::mutex> buffer_lock(buffer.mu);
+    MutexLock global_lock(state.mu);
+    MutexLock buffer_lock(buffer.mu);
     state.retired.push_back(ThreadTrace{buffer.tid, std::move(buffer.events),
                                         buffer.dropped});
     state.live.erase(
@@ -64,7 +66,7 @@ ThreadBuffer& LocalBuffer() {
   thread_local ThreadBufferOwner owner;
   if (!owner.registered) {
     TraceState& state = GlobalTrace();
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     owner.buffer.tid = state.next_tid++;
     state.live.push_back(&owner.buffer);
     owner.registered = true;
@@ -76,7 +78,7 @@ ThreadBuffer& LocalBuffer() {
 
 SpanSite& SpanRegistry::Get(std::string_view name) {
   SpanRegistryState& state = Sites();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   for (const std::unique_ptr<SpanSite>& s : state.sites) {
     if (s->name() == name) return *s;
   }
@@ -88,7 +90,7 @@ std::vector<SpanRegistry::Stat> SpanRegistry::Snapshot() {
   SpanRegistryState& state = Sites();
   std::vector<Stat> out;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     out.reserve(state.sites.size());
     for (const std::unique_ptr<SpanSite>& s : state.sites) {
       out.push_back(Stat{s->name(), s->count(), s->total_ns()});
@@ -101,7 +103,7 @@ std::vector<SpanRegistry::Stat> SpanRegistry::Snapshot() {
 
 void SpanRegistry::ResetAll() {
   SpanRegistryState& state = Sites();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   for (const std::unique_ptr<SpanSite>& s : state.sites) {
     s->Reset();
   }
@@ -122,7 +124,7 @@ void Trace::Record(const SpanSite& site, int64_t start_ns, int64_t dur_ns) {
   ThreadBuffer& buffer = LocalBuffer();
   size_t capacity =
       GlobalTrace().capacity_per_thread.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(buffer.mu);
   if (buffer.events.size() >= capacity) {
     ++buffer.dropped;
     return;
@@ -132,10 +134,10 @@ void Trace::Record(const SpanSite& site, int64_t start_ns, int64_t dur_ns) {
 
 std::vector<ThreadTrace> Trace::Snapshot() {
   TraceState& state = GlobalTrace();
-  std::lock_guard<std::mutex> global_lock(state.mu);
+  MutexLock global_lock(state.mu);
   std::vector<ThreadTrace> out = state.retired;
   for (ThreadBuffer* buffer : state.live) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     out.push_back(ThreadTrace{buffer->tid, buffer->events, buffer->dropped});
   }
   return out;
@@ -143,13 +145,13 @@ std::vector<ThreadTrace> Trace::Snapshot() {
 
 void Trace::Clear() {
   TraceState& state = GlobalTrace();
-  std::lock_guard<std::mutex> global_lock(state.mu);
-  state.retired.clear();
+  MutexLock global_lock(state.mu);
   for (ThreadBuffer* buffer : state.live) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     buffer->events.clear();
     buffer->dropped = 0;
   }
+  state.retired.clear();
 }
 
 int64_t Trace::NowNs() {

@@ -4,6 +4,7 @@
 // bit-identity: every answer a warm analysis serves must equal what a
 // fresh computation produces, over all of the paper's worked examples.
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -221,6 +222,28 @@ TEST(BatchAnalyzerTest, ParallelAnalysisMatchesSerial) {
   for (size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]) << "scheme index " << i;
     EXPECT_FALSE(serial[i].empty()) << "scheme index " << i;
+  }
+}
+
+// Stress for the guarded batch-handout state (generation_/fn_/count_/
+// done_/active_workers_, now IRD_GUARDED_BY(mu_)): hundreds of
+// back-to-back generations of varying sizes on one pool, so a late worker
+// from batch N always overlaps the start of batch N+1 somewhere. Exactly-
+// once handout must survive every generation; the CI TSan job holds the
+// conversion to the same story at runtime.
+TEST(BatchAnalyzerTest, BackToBackGenerationsHandOutExactlyOnce) {
+  BatchAnalyzer batch(8);
+  for (size_t generation = 0; generation < 200; ++generation) {
+    const size_t count = 1 + (generation * 7) % 97;
+    std::vector<std::atomic<int>> hits(count);
+    for (std::atomic<int>& h : hits) h.store(0);
+    batch.ForEachIndex(count, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1)
+          << "generation " << generation << " index " << i;
+    }
   }
 }
 

@@ -46,6 +46,33 @@ TEST(CounterTest, ConcurrentIncrementsSumExactly) {
 #endif
 }
 
+// Registration and snapshots race against each other by design (any
+// thread may register a counter while another snapshots); the registry
+// mutex — now ird::Mutex with the vector IRD_GUARDED_BY it — must hand
+// every thread the same interned address and keep concurrent snapshots
+// well-formed. Runs under the CI TSan job.
+TEST(CounterTest, ConcurrentRegistrationInternsOneAddressPerName) {
+  constexpr int kThreads = 8;
+  std::vector<Counter*> counters(kThreads, nullptr);
+  std::vector<SpanSite*> sites(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      counters[t] = &CounterRegistry::Get("obs_test.interned");
+      sites[t] = &SpanRegistry::Get("obs_test.interned_site");
+      // Interleave snapshots with registration from sibling threads.
+      (void)CounterRegistry::Snapshot();
+      (void)SpanRegistry::Snapshot();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(counters[t], counters[0]) << "thread " << t;
+    EXPECT_EQ(sites[t], sites[0]) << "thread " << t;
+  }
+}
+
 TEST(CounterTest, AddAccumulatesAndRegistryDeduplicatesByName) {
   const uint64_t before = CounterValue("obs_test.add");
   IRD_COUNT_ADD(obs_test.add, 5);

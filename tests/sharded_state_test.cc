@@ -7,8 +7,11 @@
 // is bit-identical to the serial one at any job count (the invariant the
 // CI TSan job drives at --jobs 8).
 
+#include <atomic>
 #include <map>
 #include <string>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -347,6 +350,123 @@ TEST(ShardedStateTest, InterleavedInsertsMatchSingleShardOracle) {
   }
   EXPECT_EQ(StateToString(sharded->Materialize()),
             StateToString(single->state()));
+}
+
+// Concurrent InsertBatch callers are serialized on the maintainer's
+// batch_mu_ (BatchAnalyzer's handout state is one-batch-at-a-time, a fact
+// the thread-safety annotations now encode). Four threads each drive
+// their own batch; the accounting must balance exactly and the final
+// state must chase consistent. Before the mutex landed, overlapping
+// batches interleaved two shard handouts — TSan (this test runs in the
+// CI tsan job) and the tuple accounting both catch a regression.
+TEST(ShardedStateTest, ConcurrentInsertBatchesSerializeOnTheMaintainer) {
+  DatabaseScheme s = MakeBlockScheme(4, 3);
+  StateGenOptions opt;
+  opt.entities = 12;
+  opt.coverage = 0.6;
+  opt.seed = 53;
+  DatabaseState state = MakeConsistentState(s, opt);
+  Result<ShardedMaintainer> maintainer = ShardedMaintainer::Create(state, 4);
+  ASSERT_TRUE(maintainer.ok()) << maintainer.status().ToString();
+  const size_t initial_tuples = maintainer->sharded_state().TupleCount();
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<InsertOp>> batches(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (const InsertInstance& ins :
+         MakeInsertStream(s, state, 40, 0.3, 59 + t)) {
+      batches[t].push_back({ins.rel, ins.tuple});
+    }
+  }
+  std::vector<std::vector<InsertOp>> accepted(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<Status> verdicts = maintainer->InsertBatch(batches[t]);
+      ASSERT_EQ(verdicts.size(), batches[t].size());
+      for (size_t i = 0; i < verdicts.size(); ++i) {
+        if (verdicts[i].ok()) accepted[t].push_back(batches[t][i]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Accepted ops apply via AddUnique, so duplicates (within a batch,
+  // across threads, or against the initial state) are accepted without
+  // adding a second copy. The order-independent invariant is set-wise:
+  // the final state is exactly initial tuples ∪ accepted tuples — nothing
+  // lost, nothing double-applied, no rejected tuple landed.
+  std::vector<std::unordered_set<PartialTuple, PartialTupleHash>> expected(
+      s.size());
+  size_t total_accepted = 0;
+  for (size_t r = 0; r < s.size(); ++r) {
+    for (const PartialTuple& tuple : state.relation(r).tuples()) {
+      expected[r].insert(tuple);
+    }
+  }
+  for (const std::vector<InsertOp>& ops : accepted) {
+    total_accepted += ops.size();
+    for (const InsertOp& op : ops) expected[op.rel].insert(op.tuple);
+  }
+  EXPECT_GT(total_accepted, 0u);
+  DatabaseState final_state = maintainer->Materialize();
+  size_t expected_total = 0;
+  for (size_t r = 0; r < s.size(); ++r) {
+    expected_total += expected[r].size();
+    ASSERT_EQ(final_state.relation(r).size(), expected[r].size())
+        << "relation " << r;
+    for (const PartialTuple& tuple : final_state.relation(r).tuples()) {
+      EXPECT_TRUE(expected[r].count(tuple) > 0) << "relation " << r;
+    }
+  }
+  EXPECT_EQ(maintainer->sharded_state().TupleCount(), expected_total);
+  EXPECT_GE(expected_total, initial_tuples);
+  EXPECT_TRUE(IsConsistent(final_state));
+}
+
+// The Theorem 4.1 plan cache is the one thing the TotalProjection read
+// path mutates; since it went behind plans_mu_, concurrent readers on a
+// quiescent state are safe and must agree with the serial answer. Before
+// the lock, eight threads hitting a cold cache raced on the unordered_map
+// (the exact shape ird_serve's cross-request cache will hit).
+TEST(ShardedStateTest, ConcurrentTotalProjectionsShareThePlanCache) {
+  DatabaseScheme s = test::Example11();
+  StateGenOptions opt;
+  opt.entities = 10;
+  opt.coverage = 0.8;
+  opt.seed = 61;
+  DatabaseState state = MakeConsistentState(s, opt);
+  Result<ShardedState> sharded = ShardedState::Create(state);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  const std::vector<AttributeSet> targets = {
+      Attrs(s, "AB"), Attrs(s, "AE"), Attrs(s, "B"), Attrs(s, "CE")};
+  std::vector<std::string> expected;
+  expected.reserve(targets.size());
+  RecognitionResult recognition = RecognizeIndependenceReducible(s);
+  ASSERT_TRUE(recognition.accepted);
+  for (const AttributeSet& x : targets) {
+    expected.push_back(
+        TotalProjection(state, recognition, x).ToString(s.universe()));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < targets.size(); ++i) {
+          EXPECT_EQ(sharded->TotalProjection(targets[i])
+                        .ToString(s.universe()),
+                    expected[i]);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
 }
 
 }  // namespace

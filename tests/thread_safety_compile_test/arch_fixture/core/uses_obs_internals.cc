@@ -1,0 +1,2 @@
+// FIXTURE: goes around the obs facade straight to an internal header.
+#include "obs/span.h"

@@ -1,0 +1,2 @@
+// FIXTURE: pulls the banned engine dependency in through a local header.
+#include "oracle/bridge.h"

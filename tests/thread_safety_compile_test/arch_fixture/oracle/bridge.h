@@ -1,0 +1,7 @@
+// FIXTURE: a header in the oracle layer that smuggles in the engine —
+// the hard-banned edge, one hop removed from the translation unit so the
+// lint has to print the include chain.
+#ifndef IRD_ARCH_FIXTURE_BRIDGE_H_
+#define IRD_ARCH_FIXTURE_BRIDGE_H_
+#include "engine/scheme_analysis.h"
+#endif

@@ -1,0 +1,3 @@
+// FIXTURE: an innocent file that layering_stale.spec carries a waiver
+// for — the waiver is unused, which the lint must flag as stale.
+#include "base/status.h"

@@ -1,0 +1,2 @@
+// FIXTURE: a lower layer reaching up the stack (relation -> core).
+#include "core/recognition.h"

@@ -1,0 +1,12 @@
+// MISUSE: re-acquires a non-reentrant mutex already held (self-deadlock).
+
+#include "base/mutex.h"
+
+int main() {
+  ird::Mutex mu;
+  mu.Lock();
+  mu.Lock();  // already held
+  mu.Unlock();
+  mu.Unlock();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// MISUSE: calls an IRD_EXCLUDES(mu) function while holding mu — the
+// deadlock shape IRD_EXCLUDES on self-locking entry points (InsertBatch,
+// ForEachIndex, TotalProjection) exists to reject.
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Pool {
+ public:
+  void RunBatch() IRD_EXCLUDES(mu_) { ird::MutexLock lock(mu_); }
+
+  ird::Mutex mu_;
+};
+
+}  // namespace
+
+int main() {
+  Pool pool;
+  ird::MutexLock lock(pool.mu_);
+  pool.RunBatch();  // deadlock: RunBatch acquires mu_ itself
+  return 0;
+}

@@ -1,0 +1,21 @@
+// MISUSE: reads IRD_GUARDED_BY data without holding the guarding mutex.
+// A clang -Wthread-safety build must reject this translation unit; the
+// harness in CMakeLists.txt asserts the build fails with a thread-safety
+// diagnostic.
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+struct Account {
+  ird::Mutex mu;
+  int balance IRD_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  return account.balance;  // read without account.mu held
+}

@@ -1,0 +1,19 @@
+// MISUSE: writes IRD_GUARDED_BY data without holding the guarding mutex.
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+struct Account {
+  ird::Mutex mu;
+  int balance IRD_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.balance = 7;  // write without account.mu held
+  return 0;
+}

@@ -1,0 +1,10 @@
+// MISUSE: acquires a mutex and returns without releasing it (the leak a
+// scoped MutexLock exists to prevent).
+
+#include "base/mutex.h"
+
+int main() {
+  ird::Mutex mu;
+  mu.Lock();
+  return 0;  // mu still held at end of function
+}

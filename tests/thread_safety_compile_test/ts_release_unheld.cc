@@ -1,0 +1,9 @@
+// MISUSE: releases a capability the caller does not hold.
+
+#include "base/mutex.h"
+
+int main() {
+  ird::Mutex mu;
+  mu.Unlock();  // never locked
+  return 0;
+}

@@ -1,0 +1,25 @@
+// MISUSE: calls an IRD_REQUIRES(mu) helper without holding mu — the
+// "private helper assumes the lock" contract the annotations pin down.
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Engine {
+ public:
+  void BumpLocked() IRD_REQUIRES(mu_) { ++hits_; }
+
+  ird::Mutex mu_;
+
+ private:
+  int hits_ IRD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Engine engine;
+  engine.BumpLocked();  // caller does not hold engine.mu_
+  return 0;
+}

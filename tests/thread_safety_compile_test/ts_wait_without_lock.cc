@@ -1,0 +1,11 @@
+// MISUSE: waits on a CondVar without holding the mutex it releases —
+// undefined behavior with std::condition_variable, a compile error here.
+
+#include "base/mutex.h"
+
+int main() {
+  ird::Mutex mu;
+  ird::CondVar cv;
+  cv.Wait(mu);  // Wait requires mu held
+  return 0;
+}
