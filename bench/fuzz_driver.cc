@@ -110,9 +110,11 @@ std::string Sanitize(std::string tag) {
 // disagreement takes to reproduce (and which engines it reaches at all).
 std::string CounterHeaderLine(const DatabaseScheme& repro,
                               const DifferentialOptions& opt) {
-  obs::Snapshot before = obs::TakeSnapshot();
+  // The context scopes the tally to exactly this comparison run, so the
+  // header is correct even with concurrent counter traffic elsewhere.
+  obs::ObsContext ctx("fuzz.repro");
   (void)CompareAgainstOracles(repro, opt);
-  obs::Snapshot delta = obs::DeltaSince(before);
+  obs::Snapshot delta = obs::ContextSnapshot(ctx);
   std::string line = "counters:";
   if (delta.counters.empty()) return line + " (none)";
   for (const auto& [name, value] : delta.counters) {
@@ -171,6 +173,10 @@ int Run(const Args& args) {
     BatchAnalyzer batch(args.jobs);
     batch.ForEachIndex(candidates.size(), [&](size_t c) {
       Candidate& cand = candidates[c];
+      // One fuzz iteration = one operation scope; everything the checks
+      // below record attributes to this candidate.
+      obs::ObsContext ctx(std::string(kFamilies[cand.family].name) + "/" +
+                          std::to_string(cand.iter));
       // Lint self-check: the diagnostics engine must not crash and every
       // witness it emits must pass the independent verifier. A failure is
       // triaged exactly like an oracle disagreement.
@@ -194,8 +200,8 @@ int Run(const Args& args) {
 
   // Phase 3 — serial reporting in generation order: stderr lines, corpus
   // writes and the per-repro counter headers (which re-run the comparison
-  // between two registry snapshots, so they must not overlap with phase-2
-  // counter traffic).
+  // under an operation-scoped context, so the tallies are exact even when
+  // other counter traffic exists).
   size_t total = candidates.size(), disagreements = 0;
   size_t next_candidate = 0;
   for (size_t f = 0; f < std::size(kFamilies); ++f) {

@@ -87,6 +87,10 @@ FileResult LintFile(const Options& opts, const std::string& path) {
     return res;
   }
   const ird::DatabaseScheme& scheme = parsed->scheme;
+  // Attribute everything this file's analysis records to a per-file
+  // context; with --stats the per-file delta is appended to the buffered
+  // stderr payload (input-ordered, like every other output).
+  ird::obs::ObsContext ctx(path);
   ird::SchemeAnalysis analysis(scheme);
   ird::diagnostics::LintReport report =
       ird::diagnostics::LintScheme(analysis, opts.lint);
@@ -117,6 +121,10 @@ FileResult LintFile(const Options& opts, const std::string& path) {
       res.out += "all " + std::to_string(report.diagnostics.size()) +
                  " witness(es) verified\n";
     }
+  }
+  if (opts.stats) {
+    res.err += "--- stats: " + path + " ---\n" +
+               ird::obs::RenderText(ird::obs::ContextSnapshot(ctx));
   }
   return res;
 }

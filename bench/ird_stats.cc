@@ -12,20 +12,35 @@
 // dead instrumentation in CI.
 //
 //   ird_stats [--out FILE] [--trace FILE] [--anchors DIR] [--jobs N]
-//             [--scale N] [--check] [--list]
+//             [--scale N] [--only NAME] [--check] [--baseline FILE]
+//             [--runs K] [--list]
 //
-//   --out FILE     write the JSON array there (default: stdout)
-//   --trace FILE   record span events and write a chrome://tracing JSON
-//   --anchors DIR  also classify every .scheme file under DIR (corpus
-//                  anchors; exercises the io + diagnostics-facing paths)
-//   --jobs N       classify the anchors on N worker threads (BatchAnalyzer;
-//                  default 1)
-//   --scale N      multiply per-workload repetition counts (default 1)
-//   --check        exit 1 if a required counter is zero over the whole run
-//   --list         print workload names and exit
+//   --out FILE      write the JSON array there (default: stdout)
+//   --trace FILE    record span events and write a chrome://tracing JSON
+//   --anchors DIR   also classify every .scheme file under DIR (corpus
+//                   anchors; exercises the io + diagnostics-facing paths)
+//   --jobs N        classify the anchors on N worker threads
+//                   (BatchAnalyzer; default 1)
+//   --scale N       multiply per-workload repetition counts (default 1)
+//   --only NAME     run only the named workload (--check needs a full run)
+//   --check         exit 1 if a required counter is zero over the whole
+//                   run; all dead counters are reported in one pass
+//   --baseline F    the variance-aware regression gate: rerun the
+//                   workloads (--runs times), compare against the
+//                   committed BENCH_PR<n>.json record F — counters/counts
+//                   exactly, span totals and histogram quantiles against
+//                   speed-calibrated noise-scaled thresholds — and exit 1
+//                   with a per-metric diff table on any regression
+//                   (bench/regression_gate.h, docs/OBSERVABILITY.md)
+//   --runs K        number of full reruns feeding the gate (default 3)
+//   --list          print workload names and exit
 //
-// Exit status: 0 = ok, 1 = dead counter (--check) or write failure,
-// 2 = usage error.
+// Each workload runs inside its own obs::ObsContext, so its record is the
+// operation-scoped delta — pooled work (BatchAnalyzer) attributes to the
+// workload that launched it regardless of --jobs.
+//
+// Exit status: 0 = ok, 1 = dead counter (--check), gate failure
+// (--baseline) or write failure, 2 = usage error.
 
 #include <algorithm>
 #include <cstdio>
@@ -37,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/regression_gate.h"
 #include "core/classify.h"
 #include "core/recognition.h"
 #include "core/sharded_maintainer.h"
@@ -56,8 +72,11 @@ struct Args {
   std::string out;
   std::string trace;
   std::string anchors;
+  std::string only;
+  std::string baseline;
   size_t jobs = 1;
   size_t scale = 1;
+  size_t runs = 3;
   bool check = false;
   bool list = false;
 };
@@ -68,18 +87,22 @@ struct WorkloadRecord {
   obs::Snapshot delta;
 };
 
-// One instrumented workload: runs `body` between two registry snapshots.
+// One instrumented workload: `body` runs inside an operation-scoped
+// context, and the record is the context's delta — pool workers the body
+// fans out to (BatchAnalyzer adoption) attribute here, concurrent
+// registry traffic from elsewhere does not.
 template <typename Body>
 WorkloadRecord RunWorkload(const std::string& name, std::string config_json,
                            Body body) {
-  obs::Snapshot before = obs::TakeSnapshot();
+  obs::ObsContext ctx(name);
   body();
   WorkloadRecord record;
   record.bench = name;
   record.config_json = std::move(config_json);
-  record.delta = obs::DeltaSince(before);
-  std::fprintf(stderr, "ran %-24s (%zu counters, %zu spans)\n", name.c_str(),
-               record.delta.counters.size(), record.delta.spans.size());
+  record.delta = obs::ContextSnapshot(ctx);
+  std::fprintf(stderr, "ran %-24s (%zu counters, %zu spans, %zu hists)\n",
+               name.c_str(), record.delta.counters.size(),
+               record.delta.spans.size(), record.delta.hists.size());
   return record;
 }
 
@@ -94,11 +117,14 @@ std::string ConfigJson(
 }
 
 // The standard workloads. Shapes mirror EXPERIMENTS.md E1/E4/E2 so the
-// trajectory's counters line up with the bench binaries' timings.
-std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale) {
+// trajectory's counters line up with the bench binaries' timings. An
+// empty `only` runs everything; otherwise just the named workload.
+std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale,
+                                                 const std::string& only) {
   std::vector<WorkloadRecord> records;
+  auto want = [&](const char* name) { return only.empty() || only == name; };
 
-  {
+  if (want("recognition_block")) {
     const size_t blocks = 8, per_block = 3, reps = 25 * scale;
     DatabaseScheme scheme = MakeBlockScheme(blocks, per_block);
     records.push_back(RunWorkload(
@@ -115,7 +141,7 @@ std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale) {
         }));
   }
 
-  {
+  if (want("recognition_independent")) {
     const size_t relations = 32, reps = 25 * scale;
     DatabaseScheme scheme = MakeIndependentScheme(relations);
     records.push_back(RunWorkload(
@@ -129,7 +155,7 @@ std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale) {
         }));
   }
 
-  {
+  if (want("recognition_random")) {
     const size_t relations = 8, pool = 16, reps = 5 * scale;
     std::vector<DatabaseScheme> schemes;
     for (uint64_t seed = 0; seed < pool; ++seed) {
@@ -153,7 +179,7 @@ std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale) {
         }));
   }
 
-  {
+  if (want("recognition_shared_context")) {
     // The memoization story end-to-end: one SchemeAnalysis, many
     // recognitions and split sweeps. Everything after the first repetition
     // is served from the verdict caches and the closure memo
@@ -185,7 +211,7 @@ std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale) {
         }));
   }
 
-  {
+  if (want("split_analysis")) {
     const size_t chain = 12, split_k = 3, reps = 10 * scale;
     DatabaseScheme chain_scheme = MakeChainScheme(chain);
     DatabaseScheme split_scheme = MakeSplitScheme(split_k);
@@ -200,7 +226,7 @@ std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale) {
         }));
   }
 
-  {
+  if (want("chase_consistency")) {
     const size_t entities = 200, reps = 3 * scale, lossless_reps = 10 * scale;
     DatabaseScheme scheme = MakeSplitScheme(2);
     StateGenOptions opt;
@@ -223,7 +249,7 @@ std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale) {
         }));
   }
 
-  {
+  if (want("sharded_maintenance")) {
     // The sharded engine (E2's parallel arm): a two-block Example 11-shaped
     // scheme takes a batched insert storm through ShardedMaintainer and a
     // cross-block total projection through the shard router; a split
@@ -376,10 +402,24 @@ int Run(const Args& args) {
   obs::ResetAll();
 
   int rc = 0;
-  std::vector<WorkloadRecord> records = RunStandardWorkloads(args.scale);
-  if (!args.anchors.empty()) {
-    records.push_back(RunAnchorWorkload(args.anchors, args.jobs, &rc));
+  // The first run produces the trajectory records; the gate (--baseline)
+  // reruns the same workloads for variance.
+  const size_t total_runs = args.baseline.empty() ? 1 : std::max<size_t>(
+                                                            args.runs, 1);
+  std::vector<std::vector<WorkloadRecord>> all_runs;
+  for (size_t k = 0; k < total_runs; ++k) {
+    if (total_runs > 1) {
+      std::fprintf(stderr, "--- run %zu/%zu ---\n", k + 1, total_runs);
+    }
+    std::vector<WorkloadRecord> run = RunStandardWorkloads(args.scale,
+                                                           args.only);
+    if (!args.anchors.empty() &&
+        (args.only.empty() || args.only == "classify_anchors")) {
+      run.push_back(RunAnchorWorkload(args.anchors, args.jobs, &rc));
+    }
+    all_runs.push_back(std::move(run));
   }
+  const std::vector<WorkloadRecord>& records = all_runs.front();
 
   std::string rendered = RenderRecords(records);
   if (args.out.empty()) {
@@ -405,18 +445,69 @@ int Run(const Args& args) {
     std::fprintf(stderr,
                  "ird_stats: --check skipped (built with IRD_OBS=OFF)\n");
   }
+  if (!args.baseline.empty()) {
+    std::fprintf(
+        stderr,
+        "ird_stats: --baseline skipped (built with IRD_OBS=OFF)\n");
+  }
 #else
   if (args.check) {
+    // Report every dead counter in one run, not just the first.
+    std::vector<const char*> dead;
     for (const char* name : kRequiredCounters) {
-      if (obs::CounterValue(name) == 0) {
-        std::fprintf(stderr, "ird_stats: required counter %s is ZERO\n",
-                     name);
-        rc = 1;
-      }
+      if (obs::CounterValue(name) == 0) dead.push_back(name);
     }
-    if (rc == 0) {
+    if (dead.empty()) {
       std::fprintf(stderr, "ird_stats: all %zu required counters nonzero\n",
                    std::size(kRequiredCounters));
+    } else {
+      for (const char* name : dead) {
+        std::fprintf(stderr, "ird_stats: required counter %s is ZERO\n",
+                     name);
+      }
+      std::fprintf(stderr,
+                   "ird_stats: %zu of %zu required counters are ZERO\n",
+                   dead.size(), std::size(kRequiredCounters));
+      rc = 1;
+    }
+  }
+  if (!args.baseline.empty()) {
+    Result<std::string> text = obs::ReadFileToString(args.baseline);
+    if (!text.ok()) {
+      std::fprintf(stderr, "ird_stats: --baseline %s: %s\n",
+                   args.baseline.c_str(),
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    Result<std::vector<bench::RecordView>> base =
+        bench::ParseBenchJson(*text);
+    if (!base.ok()) {
+      std::fprintf(stderr, "ird_stats: --baseline %s: %s\n",
+                   args.baseline.c_str(),
+                   base.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::vector<bench::RecordView>> run_views;
+    run_views.reserve(all_runs.size());
+    for (const std::vector<WorkloadRecord>& run : all_runs) {
+      std::vector<bench::RecordView> views;
+      views.reserve(run.size());
+      for (const WorkloadRecord& record : run) {
+        views.push_back(bench::ViewOf(record.bench, record.delta));
+      }
+      run_views.push_back(std::move(views));
+    }
+    bench::GateReport report =
+        bench::RunGate(*base, run_views, bench::GateOptions{});
+    std::fputs(report.RenderTable().c_str(), stderr);
+    if (!report.ok()) {
+      std::fprintf(stderr,
+                   "ird_stats: regression gate FAILED vs %s (%zu metrics)\n",
+                   args.baseline.c_str(), report.failures());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "ird_stats: regression gate passed vs %s\n",
+                   args.baseline.c_str());
     }
   }
 #endif
@@ -448,6 +539,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--scale") == 0) {
       args.scale = std::strtoull(next("--scale"), nullptr, 10);
       if (args.scale == 0) args.scale = 1;
+    } else if (std::strcmp(argv[i], "--only") == 0) {
+      args.only = next("--only");
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      args.baseline = next("--baseline");
+    } else if (std::strcmp(argv[i], "--runs") == 0) {
+      args.runs = std::strtoull(next("--runs"), nullptr, 10);
+      if (args.runs == 0) args.runs = 1;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       args.check = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -455,8 +553,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: ird_stats [--out FILE] [--trace FILE] "
-                   "[--anchors DIR] [--jobs N] [--scale N] [--check] "
-                   "[--list]\n");
+                   "[--anchors DIR] [--jobs N] [--scale N] [--only NAME] "
+                   "[--baseline FILE] [--runs K] [--check] [--list]\n");
       return 2;
     }
   }

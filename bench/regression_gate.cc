@@ -1,0 +1,510 @@
+#include "bench/regression_gate.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ird::bench {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader, sufficient for the machine-written BENCH_PR*.json
+// shape (objects, arrays, strings without escapes beyond \" and \\, numbers,
+// bools, null). Not a general-purpose parser on purpose: the input is our
+// own exporter's output, and a shape surprise should fail loudly.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Vector of pairs keeps duplicate keys detectable and order stable.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    Result<JsonValue> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return value;
+  }
+
+ private:
+  Result<JsonValue> Fail(const std::string& what) const {
+    return InvalidArgument("bench json: " + what + " at offset " +
+                           std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue out;
+    out.kind = JsonValue::Kind::kObject;
+    if (Consume('}')) return out;
+    for (;;) {
+      SkipSpace();
+      Result<JsonValue> key = ParseString();
+      if (!key.ok()) return key;
+      if (!Consume(':')) return Fail("expected ':'");
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      out.object.emplace_back(std::move(key.value().str),
+                              std::move(value).value());
+      if (Consume(',')) continue;
+      if (Consume('}')) return out;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue out;
+    out.kind = JsonValue::Kind::kArray;
+    if (Consume(']')) return out;
+    for (;;) {
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      out.array.push_back(std::move(value).value());
+      if (Consume(',')) continue;
+      if (Consume(']')) return out;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    JsonValue out;
+    out.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        char e = text_[pos_++];
+        if (e == '"' || e == '\\' || e == '/') {
+          out.str.push_back(e);
+        } else if (e == 'n') {
+          out.str.push_back('\n');
+        } else if (e == 't') {
+          out.str.push_back('\t');
+        } else {
+          return Fail("unsupported escape");
+        }
+      } else {
+        out.str.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.boolean = true;
+      pos_ += 4;
+      return out;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.boolean = false;
+      pos_ += 5;
+      return out;
+    }
+    return Fail("expected boolean");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Fail("expected null");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                             nullptr);
+    return out;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+double NumberOr(const JsonValue* v, double fallback) {
+  return (v != nullptr && v->kind == JsonValue::Kind::kNumber) ? v->number
+                                                               : fallback;
+}
+
+bool IsTimingHist(const std::string& name) {
+  return name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
+double MeanOf(const std::vector<double>& xs) {
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+double StddevOf(const std::vector<double>& xs, double mean) {
+  if (xs.size() < 2) return 0.0;
+  double acc = 0;
+  for (double x : xs) acc += (x - mean) * (x - mean);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+const RecordView* FindRecord(const std::vector<RecordView>& records,
+                             const std::string& bench) {
+  for (const RecordView& r : records) {
+    if (r.bench == bench) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+RecordView ViewOf(const std::string& bench, const obs::Snapshot& delta) {
+  RecordView view;
+  view.bench = bench;
+  for (const auto& [name, value] : delta.counters) view.counters[name] = value;
+  for (const obs::SpanRegistry::Stat& s : delta.spans) {
+    view.span_count[s.name] = s.count;
+    view.span_total_us[s.name] =
+        static_cast<double>(s.total_ns) / 1000.0;
+  }
+  for (const obs::HistogramRegistry::Stat& h : delta.hists) {
+    view.hists[h.name] = HistView{h.count, obs::HistogramQuantile(h, 0.50),
+                                  obs::HistogramQuantile(h, 0.90),
+                                  obs::HistogramQuantile(h, 0.99)};
+  }
+  return view;
+}
+
+Result<std::vector<RecordView>> ParseBenchJson(const std::string& text) {
+  Result<JsonValue> parsed = JsonParser(text).Parse();
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (root.kind != JsonValue::Kind::kArray) {
+    return InvalidArgument("bench json: top level is not an array");
+  }
+  std::vector<RecordView> out;
+  for (const JsonValue& rec : root.array) {
+    if (rec.kind != JsonValue::Kind::kObject) {
+      return InvalidArgument("bench json: record is not an object");
+    }
+    const JsonValue* bench = rec.Find("bench");
+    if (bench == nullptr || bench->kind != JsonValue::Kind::kString) {
+      return InvalidArgument("bench json: record without \"bench\" name");
+    }
+    RecordView view;
+    view.bench = bench->str;
+    if (const JsonValue* counters = rec.Find("counters")) {
+      for (const auto& [name, v] : counters->object) {
+        view.counters[name] = static_cast<uint64_t>(NumberOr(&v, 0));
+      }
+    }
+    if (const JsonValue* spans = rec.Find("spans_us")) {
+      for (const auto& [name, v] : spans->object) {
+        view.span_count[name] =
+            static_cast<uint64_t>(NumberOr(v.Find("count"), 0));
+        view.span_total_us[name] = NumberOr(v.Find("total_us"), 0);
+      }
+    }
+    if (const JsonValue* hists = rec.Find("hists")) {
+      for (const auto& [name, v] : hists->object) {
+        HistView h;
+        h.count = static_cast<uint64_t>(NumberOr(v.Find("count"), 0));
+        h.p50 = NumberOr(v.Find("p50"), 0);
+        h.p90 = NumberOr(v.Find("p90"), 0);
+        h.p99 = NumberOr(v.Find("p99"), 0);
+        view.hists[name] = h;
+      }
+    }
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+size_t GateReport::failures() const {
+  size_t n = 0;
+  for (const GateRow& row : rows) {
+    if (row.failed) ++n;
+  }
+  return n;
+}
+
+std::string GateReport::RenderTable() const {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-26s %-34s %12s %12s %10s %10s  %s\n",
+                "workload", "metric", "baseline", "mean", "stddev",
+                "allowed", "status");
+  out += line;
+  auto emit = [&](const GateRow& row) {
+    std::string status = row.failed ? "FAIL" : "ok";
+    if (!row.note.empty()) status += " (" + row.note + ")";
+    std::snprintf(line, sizeof(line),
+                  "%-26s %-34s %12.1f %12.1f %10.1f %10.1f  %s\n",
+                  row.workload.c_str(), row.metric.c_str(), row.baseline,
+                  row.mean, row.stddev, row.allowed, status.c_str());
+    out += line;
+  };
+  for (const GateRow& row : rows) {
+    if (row.failed) emit(row);
+  }
+  for (const GateRow& row : rows) {
+    // Passing context: the timing metrics (span totals, hist p99s) plus
+    // anything flagged (improved/new). Exact-match passes stay summarized.
+    bool interesting = row.timing && row.metric.find(" p50") ==
+                                         std::string::npos &&
+                       row.metric.find(" p90") == std::string::npos;
+    if (!row.failed && (interesting || !row.note.empty())) emit(row);
+  }
+  size_t exact = 0;
+  for (const GateRow& row : rows) {
+    if (!row.timing && !row.failed && row.note.empty()) ++exact;
+  }
+  std::snprintf(line, sizeof(line),
+                "%zu metrics checked: %zu failed, %zu exact matches\n",
+                rows.size(), failures(), exact);
+  out += line;
+  if (!run_speed.empty()) {
+    out += "run speed factors vs baseline:";
+    for (double f : run_speed) {
+      std::snprintf(line, sizeof(line), " %.2fx", f);
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+GateReport RunGate(const std::vector<RecordView>& baseline,
+                   const std::vector<std::vector<RecordView>>& runs,
+                   const GateOptions& options) {
+  GateReport report;
+
+  // Per-run speed calibration: geometric mean of span-total ratios over
+  // every (workload, span) pair present on both sides. A uniformly slower
+  // machine shifts every ratio equally and cancels out of the comparison;
+  // a single series regressing 3x barely moves the factor.
+  for (const std::vector<RecordView>& run : runs) {
+    std::vector<double> logs;
+    for (const RecordView& base_rec : baseline) {
+      const RecordView* run_rec = FindRecord(run, base_rec.bench);
+      if (run_rec == nullptr) continue;
+      for (const auto& [name, base_us] : base_rec.span_total_us) {
+        auto it = run_rec->span_total_us.find(name);
+        if (it == run_rec->span_total_us.end()) continue;
+        if (base_us > 1.0 && it->second > 1.0) {
+          logs.push_back(std::log(it->second / base_us));
+        }
+      }
+    }
+    report.run_speed.push_back(logs.empty() ? 1.0 : std::exp(MeanOf(logs)));
+  }
+
+  auto exact_check = [&](const std::string& workload,
+                         const std::string& metric, uint64_t base_value,
+                         const std::vector<uint64_t>& run_values) {
+    GateRow row;
+    row.workload = workload;
+    row.metric = metric;
+    row.baseline = static_cast<double>(base_value);
+    std::vector<double> values(run_values.begin(), run_values.end());
+    row.mean = MeanOf(values);
+    row.stddev = StddevOf(values, row.mean);
+    bool all_equal = true;
+    for (uint64_t v : run_values) {
+      if (v != base_value) all_equal = false;
+    }
+    row.failed = !all_equal;
+    row.note = all_equal ? "" : "exact";
+    report.rows.push_back(std::move(row));
+  };
+
+  auto timing_check = [&](const std::string& workload,
+                          const std::string& metric, double base_value,
+                          const std::vector<double>& run_values,
+                          bool calibrate, double rel_margin, double floor) {
+    GateRow row;
+    row.workload = workload;
+    row.metric = metric;
+    row.timing = true;
+    row.baseline = base_value;
+    std::vector<double> calibrated;
+    calibrated.reserve(run_values.size());
+    for (size_t k = 0; k < run_values.size(); ++k) {
+      double factor = calibrate ? report.run_speed[k] : 1.0;
+      calibrated.push_back(run_values[k] / factor);
+    }
+    row.mean = MeanOf(calibrated);
+    row.stddev = StddevOf(calibrated, row.mean);
+    row.allowed = std::max({rel_margin * base_value,
+                            options.sigma_mult * row.stddev, floor});
+    if (row.mean > base_value + row.allowed) {
+      row.failed = true;
+    } else if (row.mean < base_value - row.allowed) {
+      row.note = "improved";
+    }
+    report.rows.push_back(std::move(row));
+  };
+
+  for (const RecordView& base_rec : baseline) {
+    std::vector<const RecordView*> run_recs;
+    bool missing = false;
+    for (const std::vector<RecordView>& run : runs) {
+      const RecordView* rec = FindRecord(run, base_rec.bench);
+      if (rec == nullptr) missing = true;
+      run_recs.push_back(rec);
+    }
+    if (missing) {
+      GateRow row;
+      row.workload = base_rec.bench;
+      row.metric = "(workload)";
+      row.failed = true;
+      row.note = "missing";
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+
+    for (const auto& [name, base_value] : base_rec.counters) {
+      std::vector<uint64_t> values;
+      for (const RecordView* rec : run_recs) {
+        auto it = rec->counters.find(name);
+        values.push_back(it == rec->counters.end() ? 0 : it->second);
+      }
+      exact_check(base_rec.bench, "counter " + name, base_value, values);
+    }
+    // Metrics the runs have but the baseline doesn't: flag, don't fail.
+    for (const auto& [name, value] : run_recs[0]->counters) {
+      if (base_rec.counters.count(name) != 0) continue;
+      GateRow row;
+      row.workload = base_rec.bench;
+      row.metric = "counter " + name;
+      row.mean = static_cast<double>(value);
+      row.note = "new";
+      report.rows.push_back(std::move(row));
+    }
+
+    for (const auto& [name, base_count] : base_rec.span_count) {
+      std::vector<uint64_t> counts;
+      std::vector<double> totals;
+      for (const RecordView* rec : run_recs) {
+        auto c = rec->span_count.find(name);
+        counts.push_back(c == rec->span_count.end() ? 0 : c->second);
+        auto t = rec->span_total_us.find(name);
+        totals.push_back(t == rec->span_total_us.end() ? 0 : t->second);
+      }
+      exact_check(base_rec.bench, "span " + name + " count", base_count,
+                  counts);
+      timing_check(base_rec.bench, "span " + name + " us",
+                   base_rec.span_total_us.at(name), totals,
+                   /*calibrate=*/true, options.rel_margin,
+                   options.span_floor_us);
+    }
+
+    for (const auto& [name, base_hist] : base_rec.hists) {
+      bool is_timing = IsTimingHist(name);
+      double floor =
+          is_timing ? options.hist_ns_floor : options.hist_size_floor;
+      // Timing quantiles live on a log2-bucketed scale, so benign drift
+      // moves them in whole powers of two; one bucket of slack is the
+      // smallest margin that doesn't flake.
+      double margin =
+          is_timing ? options.hist_ns_rel_margin : options.rel_margin;
+      std::vector<uint64_t> counts;
+      std::vector<double> p50s, p90s, p99s;
+      for (const RecordView* rec : run_recs) {
+        auto it = rec->hists.find(name);
+        HistView h = it == rec->hists.end() ? HistView{} : it->second;
+        counts.push_back(h.count);
+        p50s.push_back(h.p50);
+        p90s.push_back(h.p90);
+        p99s.push_back(h.p99);
+      }
+      exact_check(base_rec.bench, "hist " + name + " count", base_hist.count,
+                  counts);
+      if (base_hist.count < options.min_hist_count) {
+        // Too few samples for stable quantiles (p99 of a 5-sample hist is
+        // just its max); the exact count check above still applies.
+        GateRow row;
+        row.workload = base_rec.bench;
+        row.metric = "hist " + name + " quantiles";
+        row.baseline = base_hist.p99;
+        row.note = "sparse";
+        report.rows.push_back(std::move(row));
+        continue;
+      }
+      timing_check(base_rec.bench, "hist " + name + " p50", base_hist.p50,
+                   p50s, is_timing, margin, floor);
+      timing_check(base_rec.bench, "hist " + name + " p90", base_hist.p90,
+                   p90s, is_timing, margin, floor);
+      timing_check(base_rec.bench, "hist " + name + " p99", base_hist.p99,
+                   p99s, is_timing, margin, floor);
+    }
+  }
+  return report;
+}
+
+}  // namespace ird::bench

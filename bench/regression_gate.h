@@ -1,0 +1,106 @@
+// The variance-aware bench regression gate behind `ird_stats --baseline`:
+// compares k fresh runs of the standard workloads against a committed
+// BENCH_PR<n>.json trajectory record and fails on regressions, with a
+// per-metric diff table for CI logs.
+//
+// Comparison semantics (details in docs/OBSERVABILITY.md):
+//   * counter values, span hit counts and histogram sample counts are
+//     machine-independent work counts — every run must match the baseline
+//     EXACTLY;
+//   * span totals and `_ns` histogram quantiles are wall-clock — each
+//     run's timings are first normalized by that run's overall speed
+//     factor vs the baseline (geometric mean of span-total ratios, so a
+//     uniformly slower CI runner cancels out), then the calibrated mean
+//     must stay within max(rel_margin * baseline, sigma_mult * stddev,
+//     absolute floor) of the baseline;
+//   * non-`_ns` histogram quantiles (size distributions) are compared
+//     with the same thresholds but no speed calibration.
+// Only regressions fail; a metric far *below* baseline is flagged
+// "improved" as a hint to regenerate the baseline.
+
+#ifndef IRD_BENCH_REGRESSION_GATE_H_
+#define IRD_BENCH_REGRESSION_GATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/export.h"
+
+namespace ird::bench {
+
+struct HistView {
+  uint64_t count = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+// One workload record ({"bench":...,"counters":...,"spans_us":...,
+// "hists":...}) in gate form.
+struct RecordView {
+  std::string bench;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> span_count;
+  std::map<std::string, double> span_total_us;
+  std::map<std::string, HistView> hists;
+};
+
+// Gate form of a live workload delta (quantiles derived here, same
+// formulas as the JSON export).
+RecordView ViewOf(const std::string& bench, const obs::Snapshot& delta);
+
+// Parses a BENCH_PR*.json trajectory array. Records missing "hists"
+// (pre-PR8 baselines) parse with empty histogram views.
+Result<std::vector<RecordView>> ParseBenchJson(const std::string& text);
+
+struct GateOptions {
+  double rel_margin = 0.35;      // timing drift allowed, fraction of base
+  double sigma_mult = 5.0;       // noise allowance: multiple of run stddev
+  double span_floor_us = 300.0;  // absolute slack for span totals (us)
+  double hist_ns_floor = 3000.0;  // absolute slack for _ns quantiles (ns)
+  double hist_size_floor = 2.0;   // absolute slack for size quantiles
+  // `_ns` quantiles are log2-bucket estimates, so benign drift moves them
+  // in whole powers of two; allow one bucket (2x = base + 1.0 * base)
+  // before failing. A 3x tail regression still exceeds this.
+  double hist_ns_rel_margin = 1.0;
+  // Quantiles of histograms with fewer baseline samples than this are
+  // noted "sparse" and not gated (their counts are still checked exactly).
+  uint64_t min_hist_count = 50;
+};
+
+struct GateRow {
+  std::string workload;
+  std::string metric;
+  double baseline = 0;
+  double mean = 0;    // calibrated mean over runs (exact value for counts)
+  double stddev = 0;  // over calibrated runs; 0 for exact metrics
+  double allowed = 0;  // slack around baseline (0 for exact metrics)
+  bool timing = false;
+  bool failed = false;
+  std::string note;  // "", "improved", "new", "missing", "exact"
+};
+
+struct GateReport {
+  std::vector<GateRow> rows;
+  std::vector<double> run_speed;  // per-run calibration factor vs baseline
+  bool ok() const { return failures() == 0; }
+  size_t failures() const;
+  // The per-metric diff table: every failing metric in full, plus the
+  // passing timing metrics (span totals and hist p99s) for context.
+  std::string RenderTable() const;
+};
+
+// Baseline records vs k independent reruns (runs[k] holds run k's records,
+// matched to baseline by bench name). A baseline workload absent from any
+// run fails the gate; extra run workloads and metrics are flagged "new"
+// without failing (regenerate the baseline to adopt them).
+GateReport RunGate(const std::vector<RecordView>& baseline,
+                   const std::vector<std::vector<RecordView>>& runs,
+                   const GateOptions& options);
+
+}  // namespace ird::bench
+
+#endif  // IRD_BENCH_REGRESSION_GATE_H_

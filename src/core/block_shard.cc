@@ -58,6 +58,9 @@ Status BlockShard::Apply(size_t rel, const PartialTuple& tuple) {
 }
 
 Status BlockShard::Insert(size_t rel, const PartialTuple& tuple) {
+  // End-to-end per-insert latency (check + apply), on top of the per-path
+  // check histograms inside CheckInsertCtm / CheckInsertKeyEquivalent.
+  IRD_HISTOGRAM_TIMER_NS(shard.insert_ns);
   Result<PartialTuple> q = CheckInsert(rel, tuple);
   if (!q.ok()) return q.status();
   return Apply(rel, tuple);

@@ -13,6 +13,10 @@ Result<PartialTuple> CheckInsertCtm(const DatabaseScheme& scheme,
                                     ExtensionStats* stats) {
   IRD_CHECK(tuple.attrs() == scheme.relation(rel).attrs);
   IRD_COUNT(maintain.alg5.checks);
+  // Per-check latency distribution: Theorem 5.5 claims this path is
+  // constant-time in the state size, so its p99 must stay flat as states
+  // grow (compare maintain.alg2.check_ns, which may not).
+  IRD_HISTOGRAM_TIMER_NS(maintain.alg5.check_ns);
   // Probes/extensions are tallied locally so the registry sees them on
   // every return path — the constant-time invariant of Theorem 5.5 is
   // asserted against these counters (tests/obs_invariants_test.cc).

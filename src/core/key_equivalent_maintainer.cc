@@ -13,6 +13,9 @@ Result<PartialTuple> CheckInsertKeyEquivalent(
     MaintenanceStats* stats) {
   IRD_CHECK(tuple.attrs() == scheme.relation(rel).attrs);
   IRD_COUNT(maintain.alg2.checks);
+  // Algorithm 2's per-check latency: the expression-maintenance side of
+  // the paper's constant-vs-growing comparison with maintain.alg5.check_ns.
+  IRD_HISTOGRAM_TIMER_NS(maintain.alg2.check_ns);
   // Distinct keys embedded in the pool's relations.
   std::vector<AttributeSet> pool_keys;
   for (size_t i : pool) {

@@ -33,6 +33,9 @@ DatabaseScheme InducedScheme(
 RecognitionResult RecognizeIndependenceReducible(SchemeAnalysis& analysis) {
   IRD_SPAN("recognition");
   IRD_COUNT(recognition.runs);
+  // Per-scheme recognition latency: the span above sums across schemes,
+  // this separates a fleet of fast recognitions from one pathological one.
+  IRD_HISTOGRAM_TIMER_NS(recognition.scheme_ns);
   RecognitionResult result;
   // Step (1): the key-equivalent partition via KEP (cached).
   result.partition = KeyEquivalentPartition(analysis);

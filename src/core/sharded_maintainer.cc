@@ -43,6 +43,9 @@ std::vector<Status> ShardedMaintainer::InsertBatch(
   // aside) — the invariant the CI TSan sweep holds this code to.
   auto validate_shard = [&](size_t task) {
     IRD_SPAN("shard.validate");
+    // Per-shard slice latency: the batch's critical path is the slowest
+    // shard, which the shard.validate span total can't see.
+    IRD_HISTOGRAM_TIMER_NS(shard.validate_ns);
     size_t b = busy_shards[task];
     BlockShard& shard = state_.mutable_shard(b);
     for (size_t i : by_shard[b]) {

@@ -31,16 +31,23 @@ void BatchAnalyzer::Worker() {
     seen = generation_;
     const std::function<void(size_t)>* fn = fn_;
     const size_t count = count_;
+    obs::ObsContext* ctx = ctx_;
     // active_workers_ keeps the batch open until this worker has left its
     // drain loop — ForEachIndex must not return (and a new batch must not
     // reuse fn_/count_) while any worker may still claim an index.
     ++active_workers_;
     mu_.Unlock();
     size_t processed = 0;
-    for (size_t i; (i = next_.fetch_add(1, std::memory_order_relaxed)) <
-                   count;) {
-      (*fn)(i);
-      ++processed;
+    {
+      // Attribute this worker's share of the batch to the operation that
+      // launched it. The scope ends before done_ is published, so the
+      // context outlives every tally made under it.
+      obs::ObsContextScope adopt(ctx);
+      for (size_t i; (i = next_.fetch_add(1, std::memory_order_relaxed)) <
+                     count;) {
+        (*fn)(i);
+        ++processed;
+      }
     }
     mu_.Lock();
     done_ += processed;
@@ -62,6 +69,7 @@ void BatchAnalyzer::ForEachIndex(size_t count,
   {
     MutexLock lock(mu_);
     fn_ = &fn;
+    ctx_ = obs::CurrentContext();
     count_ = count;
     done_ = 0;
     next_.store(0, std::memory_order_relaxed);
@@ -79,6 +87,7 @@ void BatchAnalyzer::ForEachIndex(size_t count,
   done_ += processed;
   while (!(done_ == count_ && active_workers_ == 0)) done_cv_.Wait(mu_);
   fn_ = nullptr;
+  ctx_ = nullptr;
 }
 
 void BatchAnalyzer::AnalyzeEach(

@@ -13,6 +13,13 @@
 //   * the only cross-thread state the payload touches is the obs registry
 //     (relaxed atomics, thread-safe by design).
 //
+// Observability: ForEachIndex captures the calling thread's current
+// obs::ObsContext and every worker adopts it for the duration of its drain
+// loop, so counters/spans/histograms recorded by pooled payloads attribute
+// to the operation that launched the batch (obs/context.h). This is safe
+// because ForEachIndex does not return until every worker has left the
+// batch — the context strictly outlives all adoption scopes.
+//
 // The batch handout state is guarded by mu_ except the atomic cursor —
 // and since the fields carry IRD_GUARDED_BY(mu_), that sentence is a
 // compiler-checked fact under clang -Wthread-safety, not a comment.
@@ -32,6 +39,7 @@
 #include "base/mutex.h"
 #include "base/thread_annotations.h"
 #include "engine/scheme_analysis.h"
+#include "obs/obs.h"
 
 namespace ird {
 
@@ -71,6 +79,8 @@ class BatchAnalyzer {
   // written only with mu_ held.
   uint64_t generation_ IRD_GUARDED_BY(mu_) = 0;
   const std::function<void(size_t)>* fn_ IRD_GUARDED_BY(mu_) = nullptr;
+  // The launching operation's context, adopted by workers for this batch.
+  obs::ObsContext* ctx_ IRD_GUARDED_BY(mu_) = nullptr;
   size_t count_ IRD_GUARDED_BY(mu_) = 0;
   size_t done_ IRD_GUARDED_BY(mu_) = 0;
   size_t active_workers_ IRD_GUARDED_BY(mu_) = 0;

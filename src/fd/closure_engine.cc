@@ -65,6 +65,9 @@ AttributeSet ClosureEngine::Closure(const AttributeSet& x) const {
     }
   }
   IRD_COUNT_ADD(closure.iterations, fired);
+  // One sample per computation: the per-call firing distribution separates
+  // "many cheap closures" from "few saturating ones" at equal totals.
+  IRD_HISTOGRAM(closure.iterations_per_call, fired);
   return closure;
 }
 

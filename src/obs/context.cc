@@ -1,0 +1,62 @@
+#include "obs/context.h"
+
+#include <utility>
+
+namespace ird::obs {
+
+namespace {
+
+std::vector<std::atomic<uint64_t>> ZeroSlots(size_t n) {
+  // vector's value-initialization zeroes the atomics.
+  return std::vector<std::atomic<uint64_t>>(n);
+}
+
+}  // namespace
+
+ObsContext::ObsContext(std::string label)
+    : label_(std::move(label)),
+      parent_(internal::tls_obs_context),
+      counters_(ZeroSlots(kMaxCounters)),
+      span_counts_(ZeroSlots(kMaxSpans)),
+      span_ns_(ZeroSlots(kMaxSpans)),
+      hist_buckets_(ZeroSlots(kMaxHistograms * kHistogramBuckets)),
+      hist_sums_(ZeroSlots(kMaxHistograms)) {
+  internal::tls_obs_context = this;
+}
+
+ObsContext::~ObsContext() {
+  // Contexts are strictly LIFO per thread: destroying one that is not the
+  // thread's current context means an inner context outlived it (or it was
+  // destroyed on a thread that never owned it) and every tally since is
+  // misattributed.
+  IRD_CHECK_MSG(internal::tls_obs_context == this,
+                "ObsContext destroyed out of LIFO order");
+  internal::tls_obs_context = parent_;
+  if (parent_ == nullptr) return;
+  // The inner operation is part of the outer one: fold our deltas up.
+  for (size_t i = 0; i < kMaxCounters; ++i) {
+    uint64_t v = counters_[i].load(std::memory_order_relaxed);
+    if (v != 0) parent_->counters_[i].fetch_add(v, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < kMaxSpans; ++i) {
+    uint64_t c = span_counts_[i].load(std::memory_order_relaxed);
+    if (c != 0) {
+      parent_->span_counts_[i].fetch_add(c, std::memory_order_relaxed);
+      parent_->span_ns_[i].fetch_add(
+          span_ns_[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+  }
+  for (size_t i = 0; i < kMaxHistograms * kHistogramBuckets; ++i) {
+    uint64_t v = hist_buckets_[i].load(std::memory_order_relaxed);
+    if (v != 0) {
+      parent_->hist_buckets_[i].fetch_add(v, std::memory_order_relaxed);
+    }
+  }
+  for (size_t i = 0; i < kMaxHistograms; ++i) {
+    uint64_t v = hist_sums_[i].load(std::memory_order_relaxed);
+    if (v != 0) parent_->hist_sums_[i].fetch_add(v, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ird::obs

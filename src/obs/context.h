@@ -1,0 +1,140 @@
+// Operation-scoped trace contexts. An ObsContext captures the
+// counter/span/histogram deltas of ONE logical operation — one scheme in
+// `ird_lint --jobs N`, one InsertBatch in ShardedMaintainer, one fuzz
+// iteration — regardless of how many registry writers run concurrently.
+//
+// Mechanism: every instrumentation sink (Counter::Add, SpanSite::Record,
+// HistogramSite::Record) additionally tallies into the thread's *current*
+// context, a thread-local pointer this class pushes in its constructor and
+// pops (LIFO-checked) in its destructor. BatchAnalyzer propagates the
+// current context across its worker handouts (engine/batch.cc), so a
+// parallel phase still attributes to the operation that launched it.
+//
+// Rules:
+//   * Contexts nest per thread; a nested context's deltas fold into its
+//     parent on destruction (the inner op is part of the outer one).
+//     Destruction out of LIFO order is a programming error and aborts.
+//   * Tallies are relaxed atomics: any number of pool workers may record
+//     into one adopted context concurrently.
+//   * Slots are fixed-capacity, indexed by registration id. Sites
+//     registered past the capacity are dropped from contexts (never from
+//     the global registries); the capacities are sized far above the
+//     engine's site count.
+//   * The owning operation must join any worker that adopted its context
+//     before destroying it. BatchAnalyzer::ForEachIndex blocks until the
+//     batch drains, so every in-tree use gets this for free.
+//
+// Read a context's deltas with obs::ContextSnapshot (obs/export.h).
+
+#ifndef IRD_OBS_CONTEXT_H_
+#define IRD_OBS_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace ird::obs {
+
+// Log-bucket count shared with HistogramSite (histogram.h includes this
+// header, so the constant lives here): bucket 0 holds value 0, bucket b
+// holds [2^(b-1), 2^b) for b in 1..64.
+inline constexpr size_t kHistogramBuckets = 65;
+
+class ObsContext {
+ public:
+  // Fixed per-family slot capacities (registration ids beyond these are
+  // dropped from contexts). The engine registers a few dozen sites total.
+  static constexpr size_t kMaxCounters = 512;
+  static constexpr size_t kMaxSpans = 256;
+  static constexpr size_t kMaxHistograms = 64;
+
+  explicit ObsContext(std::string label);
+  ~ObsContext();
+
+  ObsContext(const ObsContext&) = delete;
+  ObsContext& operator=(const ObsContext&) = delete;
+
+  const std::string& label() const { return label_; }
+
+  // Hot-path sinks, called by the registry classes through
+  // CurrentContext(). Relaxed atomics; out-of-capacity ids are dropped.
+  void AddCounter(uint32_t id, uint64_t delta) {
+    if (id < kMaxCounters) {
+      counters_[id].fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  void RecordSpan(uint32_t id, uint64_t ns) {
+    if (id < kMaxSpans) {
+      span_counts_[id].fetch_add(1, std::memory_order_relaxed);
+      span_ns_[id].fetch_add(ns, std::memory_order_relaxed);
+    }
+  }
+  void RecordHistogram(uint32_t id, size_t bucket, uint64_t value) {
+    if (id < kMaxHistograms) {
+      hist_buckets_[id * kHistogramBuckets + bucket].fetch_add(
+          1, std::memory_order_relaxed);
+      hist_sums_[id].fetch_add(value, std::memory_order_relaxed);
+    }
+  }
+
+  // Raw slot reads for ContextSnapshot (export.cc).
+  uint64_t counter_delta(uint32_t id) const {
+    return counters_[id].load(std::memory_order_relaxed);
+  }
+  uint64_t span_count_delta(uint32_t id) const {
+    return span_counts_[id].load(std::memory_order_relaxed);
+  }
+  uint64_t span_ns_delta(uint32_t id) const {
+    return span_ns_[id].load(std::memory_order_relaxed);
+  }
+  uint64_t hist_bucket_delta(uint32_t id, size_t bucket) const {
+    return hist_buckets_[id * kHistogramBuckets + bucket].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t hist_sum_delta(uint32_t id) const {
+    return hist_sums_[id].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string label_;
+  ObsContext* parent_;  // the context this one nests inside, or nullptr
+  std::vector<std::atomic<uint64_t>> counters_;
+  std::vector<std::atomic<uint64_t>> span_counts_;
+  std::vector<std::atomic<uint64_t>> span_ns_;
+  std::vector<std::atomic<uint64_t>> hist_buckets_;
+  std::vector<std::atomic<uint64_t>> hist_sums_;
+};
+
+namespace internal {
+// The thread's current context. Inline thread_local so the sink hot paths
+// compile to a direct TLS load, no function call.
+inline thread_local ObsContext* tls_obs_context = nullptr;
+}  // namespace internal
+
+inline ObsContext* CurrentContext() { return internal::tls_obs_context; }
+
+// Adopts `context` as the current context of THIS thread for the scope's
+// lifetime (BatchAnalyzer wraps each worker's batch drain in one, handing
+// the launching operation's context to its pool workers). Null is fine —
+// the scope then just shields the thread's previous context.
+class ObsContextScope {
+ public:
+  explicit ObsContextScope(ObsContext* context)
+      : saved_(internal::tls_obs_context) {
+    internal::tls_obs_context = context;
+  }
+  ~ObsContextScope() { internal::tls_obs_context = saved_; }
+
+  ObsContextScope(const ObsContextScope&) = delete;
+  ObsContextScope& operator=(const ObsContextScope&) = delete;
+
+ private:
+  ObsContext* saved_;
+};
+
+}  // namespace ird::obs
+
+#endif  // IRD_OBS_CONTEXT_H_

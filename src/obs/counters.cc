@@ -32,8 +32,20 @@ Counter& CounterRegistry::Get(std::string_view name) {
   for (const std::unique_ptr<Counter>& c : state.counters) {
     if (c->name() == name) return *c;
   }
-  state.counters.push_back(std::make_unique<Counter>(std::string(name)));
+  state.counters.push_back(std::make_unique<Counter>(
+      std::string(name), static_cast<uint32_t>(state.counters.size())));
   return *state.counters.back();
+}
+
+std::vector<std::string> CounterRegistry::NamesById() {
+  RegistryState& state = State();
+  MutexLock lock(state.mu);
+  std::vector<std::string> names;
+  names.reserve(state.counters.size());
+  for (const std::unique_ptr<Counter>& c : state.counters) {
+    names.push_back(c->name());
+  }
+  return names;
 }
 
 std::vector<std::pair<std::string, uint64_t>> CounterRegistry::Snapshot() {

@@ -17,27 +17,33 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/context.h"
+
 namespace ird::obs {
 
 // One named monotonic counter. alignas keeps two counters registered
 // back-to-back off the same cache line (independent sites must not false
-// share).
+// share). `id` is the registration index, used by ObsContext to tally the
+// same increment into the current operation's delta slots.
 class alignas(64) Counter {
  public:
-  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(std::string name, uint32_t id) : name_(std::move(name)), id_(id) {}
 
   Counter(const Counter&) = delete;
   Counter& operator=(const Counter&) = delete;
 
   void Add(uint64_t delta) {
     value_.fetch_add(delta, std::memory_order_relaxed);
+    if (ObsContext* ctx = CurrentContext()) ctx->AddCounter(id_, delta);
   }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
+  uint32_t id() const { return id_; }
 
  private:
   std::string name_;
+  uint32_t id_;
   std::atomic<uint64_t> value_{0};
 };
 
@@ -52,6 +58,9 @@ class CounterRegistry {
   // snapshot concurrent with increments sees each counter at some point in
   // its monotone history.
   static std::vector<std::pair<std::string, uint64_t>> Snapshot();
+
+  // Names indexed by registration id (for ContextSnapshot).
+  static std::vector<std::string> NamesById();
 
   // Zeroes every registered counter (per-workload deltas in ird_stats, per
   // campaign in fuzz_driver). Counters stay registered.

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <sstream>
 
 namespace ird::obs {
 
@@ -22,7 +23,8 @@ std::string FormatUs(uint64_t ns) {
 }  // namespace
 
 Snapshot TakeSnapshot() {
-  return Snapshot{CounterRegistry::Snapshot(), SpanRegistry::Snapshot()};
+  return Snapshot{CounterRegistry::Snapshot(), SpanRegistry::Snapshot(),
+                  HistogramRegistry::Snapshot()};
 }
 
 Snapshot Delta(const Snapshot& before, const Snapshot& after) {
@@ -47,11 +49,70 @@ Snapshot Delta(const Snapshot& before, const Snapshot& after) {
       out.spans.push_back(SpanRegistry::Stat{s.name, count, total});
     }
   }
+  std::map<std::string, const HistogramRegistry::Stat*> hist_base;
+  for (const HistogramRegistry::Stat& h : before.hists) {
+    hist_base[h.name] = &h;
+  }
+  for (const HistogramRegistry::Stat& h : after.hists) {
+    HistogramRegistry::Stat d = h;
+    auto it = hist_base.find(h.name);
+    if (it != hist_base.end()) {
+      const HistogramRegistry::Stat& base = *it->second;
+      d.count -= std::min(d.count, base.count);
+      d.sum -= std::min(d.sum, base.sum);
+      for (size_t b = 0; b < kHistogramBuckets; ++b) {
+        d.buckets[b] -= std::min(d.buckets[b], base.buckets[b]);
+      }
+    }
+    if (d.count > 0) out.hists.push_back(std::move(d));
+  }
   return out;
 }
 
 Snapshot DeltaSince(const Snapshot& before) {
   return Delta(before, TakeSnapshot());
+}
+
+Snapshot ContextSnapshot(const ObsContext& context) {
+  Snapshot out;
+  std::vector<std::string> counter_names = CounterRegistry::NamesById();
+  size_t n = std::min(counter_names.size(), ObsContext::kMaxCounters);
+  for (uint32_t id = 0; id < n; ++id) {
+    uint64_t v = context.counter_delta(id);
+    if (v != 0) out.counters.emplace_back(counter_names[id], v);
+  }
+  std::sort(out.counters.begin(), out.counters.end());
+  std::vector<std::string> span_names = SpanRegistry::NamesById();
+  n = std::min(span_names.size(), ObsContext::kMaxSpans);
+  for (uint32_t id = 0; id < n; ++id) {
+    uint64_t count = context.span_count_delta(id);
+    if (count != 0) {
+      out.spans.push_back(SpanRegistry::Stat{span_names[id], count,
+                                             context.span_ns_delta(id)});
+    }
+  }
+  std::sort(out.spans.begin(), out.spans.end(),
+            [](const SpanRegistry::Stat& a, const SpanRegistry::Stat& b) {
+              return a.name < b.name;
+            });
+  std::vector<std::string> hist_names = HistogramRegistry::NamesById();
+  n = std::min(hist_names.size(), ObsContext::kMaxHistograms);
+  for (uint32_t id = 0; id < n; ++id) {
+    HistogramRegistry::Stat stat;
+    stat.name = hist_names[id];
+    stat.count = 0;
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      stat.buckets[b] = context.hist_bucket_delta(id, b);
+      stat.count += stat.buckets[b];
+    }
+    if (stat.count == 0) continue;
+    stat.sum = context.hist_sum_delta(id);
+    out.hists.push_back(std::move(stat));
+  }
+  std::sort(out.hists.begin(), out.hists.end(),
+            [](const HistogramRegistry::Stat& a,
+               const HistogramRegistry::Stat& b) { return a.name < b.name; });
+  return out;
 }
 
 uint64_t CounterValue(std::string_view name) {
@@ -64,6 +125,7 @@ uint64_t CounterValue(std::string_view name) {
 void ResetAll() {
   CounterRegistry::ResetAll();
   SpanRegistry::ResetAll();
+  HistogramRegistry::ResetAll();
   Trace::Clear();
 }
 
@@ -74,6 +136,9 @@ std::string RenderText(const Snapshot& snapshot) {
   }
   for (const SpanRegistry::Stat& s : snapshot.spans) {
     width = std::max(width, s.name.size());
+  }
+  for (const HistogramRegistry::Stat& h : snapshot.hists) {
+    width = std::max(width, h.name.size());
   }
   std::string out;
   if (!snapshot.counters.empty()) {
@@ -93,6 +158,18 @@ std::string RenderText(const Snapshot& snapshot) {
                     "  %-*s %" PRIu64 " x, %s us total\n",
                     static_cast<int>(width), s.name.c_str(), s.count,
                     FormatUs(s.total_ns).c_str());
+      out += line;
+    }
+  }
+  if (!snapshot.hists.empty()) {
+    out += "histograms:\n";
+    for (const HistogramRegistry::Stat& h : snapshot.hists) {
+      char line[200];
+      std::snprintf(line, sizeof(line),
+                    "  %-*s %" PRIu64 " x, p50 %.0f, p90 %.0f, p99 %.0f\n",
+                    static_cast<int>(width), h.name.c_str(), h.count,
+                    HistogramQuantile(h, 0.50), HistogramQuantile(h, 0.90),
+                    HistogramQuantile(h, 0.99));
       out += line;
     }
   }
@@ -120,6 +197,28 @@ std::string RenderJson(const Snapshot& snapshot) {
                   s.name.c_str(), s.count, s.total_ns / 1000);
     out += entry;
   }
+  out += "},\"hists\":{";
+  for (size_t i = 0; i < snapshot.hists.size(); ++i) {
+    if (i > 0) out += ",";
+    const HistogramRegistry::Stat& h = snapshot.hists[i];
+    char entry[256];
+    std::snprintf(entry, sizeof(entry),
+                  "\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,\"buckets\":[",
+                  h.name.c_str(), h.count, h.sum, HistogramQuantile(h, 0.50),
+                  HistogramQuantile(h, 0.90), HistogramQuantile(h, 0.99));
+    out += entry;
+    bool first_bucket = true;
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      std::snprintf(entry, sizeof(entry), "[%zu,%" PRIu64 "]", b,
+                    h.buckets[b]);
+      out += entry;
+    }
+    out += "]}";
+  }
   out += "}}";
   return out;
 }
@@ -145,6 +244,23 @@ std::string RenderChromeTrace() {
       out += entry;
     }
   }
+  // One counter ("C") event per non-empty histogram: a p50/p90/p99 track
+  // so distribution shape sits next to the span timeline in the viewer.
+  int64_t now_us = Trace::NowNs() / 1000;
+  for (const HistogramRegistry::Stat& h : HistogramRegistry::Snapshot()) {
+    if (h.count == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    char entry[320];
+    std::snprintf(entry, sizeof(entry),
+                  "\n{\"name\":\"hist.%s\",\"cat\":\"ird\",\"ph\":\"C\","
+                  "\"ts\":%" PRId64
+                  ",\"pid\":1,\"args\":{\"p50\":%.1f,\"p90\":%.1f,"
+                  "\"p99\":%.1f}}",
+                  h.name.c_str(), now_us, HistogramQuantile(h, 0.50),
+                  HistogramQuantile(h, 0.90), HistogramQuantile(h, 0.99));
+    out += entry;
+  }
   out += "\n]}";
   return out;
 }
@@ -159,42 +275,54 @@ Status WriteStringToFile(const std::string& path,
   return OkStatus();
 }
 
-// The getenv calls below are read-only lookups from single-threaded
-// process setup/teardown (tool main entry and exit); nothing in the
-// library ever setenv's, so the concurrency-mt-unsafe findings are
-// suppressed here rather than globally (see .clang-tidy).
-void InitFromEnv() {
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return InvalidArgument("cannot open " + path + " for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return InvalidArgument("read error on " + path);
+  return buffer.str();
+}
+
+std::optional<std::string> EnvString(const char* name) {
+  // The obs layer's single getenv site: read-only lookups from
+  // single-threaded tool setup/teardown; nothing in the library ever
+  // setenv's, so the concurrency-mt-unsafe finding is suppressed here and
+  // nowhere else (see .clang-tidy).
   // NOLINTNEXTLINE(concurrency-mt-unsafe)
-  if (std::getenv("IRD_TRACE_OUT") != nullptr) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+void InitFromEnv() {
+  if (EnvString("IRD_TRACE_OUT").has_value()) {
     Trace::SetEnabled(true);
   }
 }
 
 int ExportFromEnv(const std::string& tool) {
   int rc = 0;
-  // NOLINTNEXTLINE(concurrency-mt-unsafe)
-  if (const char* path = std::getenv("IRD_TRACE_OUT")) {
-    Status written = WriteStringToFile(path, RenderChromeTrace());
+  if (std::optional<std::string> path = EnvString("IRD_TRACE_OUT")) {
+    Status written = WriteStringToFile(*path, RenderChromeTrace());
     if (!written.ok()) {
       std::fprintf(stderr, "%s: trace export failed: %s\n", tool.c_str(),
                    written.ToString().c_str());
       rc = 1;
     }
   }
-  // NOLINTNEXTLINE(concurrency-mt-unsafe)
-  if (const char* path = std::getenv("IRD_STATS_OUT")) {
+  if (std::optional<std::string> path = EnvString("IRD_STATS_OUT")) {
     std::string json = RenderJson(TakeSnapshot());
     std::string body = "{\"bench\":\"" + tool + "\"," + json.substr(1);
-    Status written = WriteStringToFile(path, body + "\n");
+    Status written = WriteStringToFile(*path, body + "\n");
     if (!written.ok()) {
       std::fprintf(stderr, "%s: stats export failed: %s\n", tool.c_str(),
                    written.ToString().c_str());
       rc = 1;
     }
   }
-  // NOLINTNEXTLINE(concurrency-mt-unsafe)
-  if (const char* flag = std::getenv("IRD_STATS");
-      flag != nullptr && flag[0] != '\0' && flag[0] != '0') {
+  if (std::optional<std::string> flag = EnvString("IRD_STATS");
+      flag.has_value() && (*flag)[0] != '0') {
     std::fprintf(stderr, "=== %s instrumentation summary ===\n%s",
                  tool.c_str(), RenderText(TakeSnapshot()).c_str());
   }

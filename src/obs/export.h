@@ -1,35 +1,47 @@
 // Sinks for the instrumentation registries (obs/obs.h): flat snapshots of
-// counters and span aggregates, rendered as text or JSON, and a
-// chrome://tracing export of the recorded span events. Formats are
-// documented in docs/OBSERVABILITY.md.
+// counters, span aggregates and histograms, rendered as text or JSON, and
+// a chrome://tracing export of the recorded span events plus histogram
+// quantile counter tracks. Formats are documented in
+// docs/OBSERVABILITY.md.
 
 #ifndef IRD_OBS_EXPORT_H_
 #define IRD_OBS_EXPORT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "base/status.h"
+#include "obs/context.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/span.h"
 
 namespace ird::obs {
 
-// A flat, name-sorted snapshot of every counter and span aggregate.
+// A flat, name-sorted snapshot of every counter, span aggregate and
+// histogram.
 struct Snapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<SpanRegistry::Stat> spans;
+  std::vector<HistogramRegistry::Stat> hists;
 };
 
 Snapshot TakeSnapshot();
 
-// after - before, entry-wise; names present only in `after` keep their
-// value (counters are never unregistered, so that is the fresh-name case).
-// Entries that are zero in the delta are dropped.
+// after - before, entry-wise (histograms bucket-wise); names present only
+// in `after` keep their value (counters are never unregistered, so that is
+// the fresh-name case). Entries that are zero in the delta are dropped.
 Snapshot DeltaSince(const Snapshot& before);
 Snapshot Delta(const Snapshot& before, const Snapshot& after);
+
+// The deltas one ObsContext has captured so far, in Snapshot form (sorted,
+// zero entries dropped). Readable while the context is still installed;
+// for a completed operation, read before the context is destroyed (its
+// deltas fold into the parent context after that).
+Snapshot ContextSnapshot(const ObsContext& context);
 
 // The value of one counter right now (0 if the name was never hit).
 uint64_t CounterValue(std::string_view name);
@@ -39,21 +51,35 @@ void ResetAll();
 
 // Deterministic renderings of a snapshot: same snapshot, same bytes.
 //
-// Text: an aligned two-column table, counters then spans (spans show count
-// and total microseconds).
+// Text: an aligned two-column table, counters then spans (count and total
+// microseconds) then histograms (count, p50/p90/p99).
 std::string RenderText(const Snapshot& snapshot);
 // JSON: {"counters":{name:value,...},"spans_us":{name:{"count":c,
-// "total_us":t},...}} with keys in sorted order. total_us is integer
-// microseconds (rounded down).
+// "total_us":t},...},"hists":{name:{"count":c,"sum":s,"p50":...,"p90":...,
+// "p99":...,"buckets":[[bucket,count],...]},...}} with keys in sorted
+// order. total_us is integer microseconds (rounded down); quantiles are
+// interpolated bucket estimates (see docs/OBSERVABILITY.md); `buckets`
+// lists only non-empty buckets.
 std::string RenderJson(const Snapshot& snapshot);
 
 // The recorded trace as chrome://tracing "Trace Event Format" JSON
-// (complete "X" events; ts/dur in fractional microseconds). Load via
-// chrome://tracing or https://ui.perfetto.dev.
+// (complete "X" events; ts/dur in fractional microseconds), followed by
+// one counter ("C") event per non-empty histogram carrying its current
+// p50/p90/p99 as a quantile track. Load via chrome://tracing or
+// https://ui.perfetto.dev.
 std::string RenderChromeTrace();
 
 Status WriteStringToFile(const std::string& path,
                          const std::string& contents);
+
+// The whole file as one string (binary-safe).
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Checked getenv: the value of `name` if set and non-empty, else nullopt.
+// The single sanctioned getenv site for the obs layer (read-only lookups
+// from single-threaded tool setup/teardown; nothing in the library ever
+// setenv's).
+std::optional<std::string> EnvString(const char* name);
 
 // Env-driven export hooks for CLI/bench binaries:
 //   IRD_TRACE_OUT=<path>  enable event recording (InitFromEnv) and write

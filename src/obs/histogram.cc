@@ -1,0 +1,137 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+#include "obs/span.h"
+
+namespace ird::obs {
+
+namespace {
+
+struct RegistryState {
+  Mutex mu;
+  // unique_ptr keeps site addresses stable; registration order is the id.
+  std::vector<std::unique_ptr<HistogramSite>> sites IRD_GUARDED_BY(mu);
+};
+
+RegistryState& State() {
+  // Leaked singleton, same rationale as CounterRegistry.
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+}  // namespace
+
+size_t HistogramSite::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+std::array<uint64_t, kHistogramBuckets> HistogramSite::MergedBuckets() const {
+  std::array<uint64_t, kHistogramBuckets> merged{};
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      merged[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+uint64_t HistogramSite::MergedSum() const {
+  uint64_t sum = 0;
+  for (const Shard& shard : shards_) {
+    sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+HistogramSite& HistogramRegistry::Get(std::string_view name) {
+  RegistryState& state = State();
+  MutexLock lock(state.mu);
+  for (const std::unique_ptr<HistogramSite>& site : state.sites) {
+    if (site->name() == name) return *site;
+  }
+  state.sites.push_back(std::make_unique<HistogramSite>(
+      std::string(name), static_cast<uint32_t>(state.sites.size())));
+  return *state.sites.back();
+}
+
+std::vector<HistogramRegistry::Stat> HistogramRegistry::Snapshot() {
+  RegistryState& state = State();
+  std::vector<Stat> out;
+  {
+    MutexLock lock(state.mu);
+    out.reserve(state.sites.size());
+    for (const std::unique_ptr<HistogramSite>& site : state.sites) {
+      Stat stat;
+      stat.name = site->name();
+      stat.buckets = site->MergedBuckets();
+      stat.sum = site->MergedSum();
+      stat.count = 0;
+      for (uint64_t b : stat.buckets) stat.count += b;
+      out.push_back(std::move(stat));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Stat& a, const Stat& b) { return a.name < b.name; });
+  return out;
+}
+
+std::vector<std::string> HistogramRegistry::NamesById() {
+  RegistryState& state = State();
+  MutexLock lock(state.mu);
+  std::vector<std::string> names;
+  names.reserve(state.sites.size());
+  for (const std::unique_ptr<HistogramSite>& site : state.sites) {
+    names.push_back(site->name());
+  }
+  return names;
+}
+
+void HistogramRegistry::ResetAll() {
+  RegistryState& state = State();
+  MutexLock lock(state.mu);
+  for (const std::unique_ptr<HistogramSite>& site : state.sites) {
+    site->Reset();
+  }
+}
+
+double HistogramQuantile(const HistogramRegistry::Stat& stat, double q) {
+  if (stat.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target value, 1-based: the ceil(q*N)-th smallest sample
+  // (at least 1 so q=0 is the minimum's bucket).
+  double target = std::max(1.0, std::ceil(q * static_cast<double>(stat.count)));
+  uint64_t before = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    uint64_t in_bucket = stat.buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(before + in_bucket) >= target) {
+      if (b == 0) return 0.0;
+      // Linear interpolation inside [2^(b-1), 2^b).
+      double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      double width = lo;  // 2^b - 2^(b-1)
+      double frac = (target - static_cast<double>(before)) /
+                    static_cast<double>(in_bucket);
+      return lo + width * frac;
+    }
+    before += in_bucket;
+  }
+  // Unreachable when count == sum of buckets; keep a sane fallback.
+  return std::ldexp(1.0, static_cast<int>(kHistogramBuckets) - 1);
+}
+
+ScopedHistogramTimer::ScopedHistogramTimer(HistogramSite& site)
+    : site_(site), start_ns_(Trace::NowNs()) {}
+
+ScopedHistogramTimer::~ScopedHistogramTimer() {
+  site_.Record(static_cast<uint64_t>(Trace::NowNs() - start_ns_));
+}
+
+}  // namespace ird::obs

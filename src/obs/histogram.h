@@ -1,0 +1,130 @@
+// Log-bucketed distribution recorders (latency and size distributions:
+// chase probe-chain lengths, per-insert validation nanoseconds, per-scheme
+// recognition time). Same registration model as Counter/SpanSite — one
+// site per name, stable address, bound to each instrumentation site via a
+// function-local static in IRD_HISTOGRAM (obs/obs.h) — but a recorded
+// value lands in a log bucket instead of a running sum, so snapshots can
+// derive p50/p90/p99 and expose tail behaviour a mean hides.
+//
+// Bucketing: bucket 0 holds value 0; bucket b (1..64) holds values in
+// [2^(b-1), 2^b). BucketOf is one std::bit_width — no search, no float.
+//
+// Recording is lock-free: each site owns kShards cache-line-isolated
+// shards of relaxed atomic bucket counts, and every thread is assigned a
+// shard round-robin at first use (truly per-thread up to kShards threads,
+// striped beyond that — correctness never depends on exclusivity, only
+// contention does). Snapshot() merges the shards.
+
+#ifndef IRD_OBS_HISTOGRAM_H_
+#define IRD_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/context.h"
+
+namespace ird::obs {
+
+class HistogramSite {
+ public:
+  static constexpr size_t kShards = 8;
+
+  HistogramSite(std::string name, uint32_t id)
+      : name_(std::move(name)), id_(id) {}
+
+  HistogramSite(const HistogramSite&) = delete;
+  HistogramSite& operator=(const HistogramSite&) = delete;
+
+  static size_t BucketOf(uint64_t value) {
+    return value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+  }
+
+  void Record(uint64_t value) {
+    size_t bucket = BucketOf(value);
+    Shard& shard = shards_[ShardIndex()];
+    shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    if (ObsContext* ctx = CurrentContext()) {
+      ctx->RecordHistogram(id_, bucket, value);
+    }
+  }
+
+  void Reset() {
+    for (Shard& shard : shards_) {
+      for (std::atomic<uint64_t>& b : shard.buckets) {
+        b.store(0, std::memory_order_relaxed);
+      }
+      shard.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  uint32_t id() const { return id_; }
+
+  // Merged bucket counts and value sum across shards (relaxed reads; a
+  // snapshot concurrent with recording sees each shard at some point in
+  // its monotone history, same contract as Counter).
+  std::array<uint64_t, kHistogramBuckets> MergedBuckets() const;
+  uint64_t MergedSum() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+
+  // Round-robin thread-to-shard assignment, shared by all sites so a
+  // thread touches the same stripe everywhere.
+  static size_t ShardIndex();
+
+  std::string name_;
+  uint32_t id_;
+  std::array<Shard, kShards> shards_{};
+};
+
+class HistogramRegistry {
+ public:
+  static HistogramSite& Get(std::string_view name);
+
+  struct Stat {
+    std::string name;
+    uint64_t count = 0;  // sum of buckets
+    uint64_t sum = 0;    // sum of recorded values
+    std::array<uint64_t, kHistogramBuckets> buckets{};
+  };
+  // All registered sites, sorted by name.
+  static std::vector<Stat> Snapshot();
+  // Names indexed by registration id (for ContextSnapshot).
+  static std::vector<std::string> NamesById();
+  static void ResetAll();
+};
+
+// Quantile estimate from a bucket array (q in [0,1]): find the bucket
+// holding the ceil(q*count)-th recorded value and interpolate linearly
+// inside its value range [2^(b-1), 2^b). Returns 0 for an empty histogram.
+// The formula is documented in docs/OBSERVABILITY.md.
+double HistogramQuantile(const HistogramRegistry::Stat& stat, double q);
+
+// The RAII guard IRD_HISTOGRAM_TIMER_NS expands to: records the scope's
+// wall-clock duration in nanoseconds into `site` on destruction.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(HistogramSite& site);
+  ~ScopedHistogramTimer();
+
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  HistogramSite& site_;
+  int64_t start_ns_;
+};
+
+}  // namespace ird::obs
+
+#endif  // IRD_OBS_HISTOGRAM_H_

@@ -3,12 +3,21 @@
 //   IRD_COUNT(chase.reprobes);           // +1 on the named counter
 //   IRD_COUNT_ADD(tableau.rows, n);      // +n
 //   IRD_SPAN("kep");                     // RAII span over the current scope
+//   IRD_HISTOGRAM(closure.iterations_per_call, fired);  // one sample
+//   IRD_HISTOGRAM_TIMER_NS(maintain.alg5.check_ns);     // RAII latency
 //
-// Counter names are bare dotted identifiers (stringized by the macro); span
-// names are string literals. Each site binds to its registry entry through
-// a function-local static, so a hit costs one guard load plus relaxed
-// atomics — cheap enough for the chase/closure inner loops (measured
-// overhead on bench_recognition is quoted in docs/OBSERVABILITY.md).
+// Counter and histogram names are bare dotted identifiers (stringized by
+// the macro); span names are string literals. Histogram series whose
+// samples are nanoseconds carry a `_ns` suffix — the bench regression gate
+// relies on it to know which quantiles are machine-speed-dependent. Each
+// site binds to its registry entry through a function-local static, so a
+// hit costs one guard load plus relaxed atomics — cheap enough for the
+// chase/closure inner loops (measured overhead on bench_recognition is
+// quoted in docs/OBSERVABILITY.md).
+//
+// Operation-scoped attribution: every macro hit additionally tallies into
+// the thread's current ObsContext (obs/context.h) when one is installed;
+// read the per-operation delta with obs::ContextSnapshot (obs/export.h).
 //
 // Building with -DIRD_OBS=OFF defines IRD_OBS_DISABLED on everything that
 // links ird_obs; the macros below then expand to ((void)0) — no statics, no
@@ -18,7 +27,9 @@
 #ifndef IRD_OBS_OBS_H_
 #define IRD_OBS_OBS_H_
 
+#include "obs/context.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/span.h"
 
 #ifdef IRD_OBS_DISABLED
@@ -29,6 +40,8 @@
 // under -Werror in OFF builds.
 #define IRD_COUNT_ADD(name, delta) ((void)(delta))
 #define IRD_SPAN(name) ((void)0)
+#define IRD_HISTOGRAM(name, value) ((void)(value))
+#define IRD_HISTOGRAM_TIMER_NS(name) ((void)0)
 
 #else  // instrumentation enabled
 
@@ -52,6 +65,27 @@
       IRD_OBS_CONCAT(ird_obs_site_, id))
 
 #define IRD_SPAN(name) IRD_SPAN_IMPL(name, __COUNTER__)
+
+// One sample into the named log-bucketed histogram.
+#define IRD_HISTOGRAM(name, value)                            \
+  do {                                                        \
+    static ::ird::obs::HistogramSite& ird_obs_hist =          \
+        ::ird::obs::HistogramRegistry::Get(#name);            \
+    ird_obs_hist.Record(static_cast<uint64_t>(value));        \
+  } while (false)
+
+// RAII: records the enclosing scope's wall-clock nanoseconds as one
+// histogram sample on scope exit. Use for per-operation latency series
+// (name them with a `_ns` suffix).
+#define IRD_HISTOGRAM_TIMER_NS_IMPL(name, id)                             \
+  static ::ird::obs::HistogramSite& IRD_OBS_CONCAT(ird_obs_hsite_, id) =  \
+      ::ird::obs::HistogramRegistry::Get(#name);                          \
+  const ::ird::obs::ScopedHistogramTimer IRD_OBS_CONCAT(ird_obs_htimer_, \
+                                                        id)(              \
+      IRD_OBS_CONCAT(ird_obs_hsite_, id))
+
+#define IRD_HISTOGRAM_TIMER_NS(name) \
+  IRD_HISTOGRAM_TIMER_NS_IMPL(name, __COUNTER__)
 
 #endif  // IRD_OBS_DISABLED
 

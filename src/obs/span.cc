@@ -82,8 +82,20 @@ SpanSite& SpanRegistry::Get(std::string_view name) {
   for (const std::unique_ptr<SpanSite>& s : state.sites) {
     if (s->name() == name) return *s;
   }
-  state.sites.push_back(std::make_unique<SpanSite>(std::string(name)));
+  state.sites.push_back(std::make_unique<SpanSite>(
+      std::string(name), static_cast<uint32_t>(state.sites.size())));
   return *state.sites.back();
+}
+
+std::vector<std::string> SpanRegistry::NamesById() {
+  SpanRegistryState& state = Sites();
+  MutexLock lock(state.mu);
+  std::vector<std::string> names;
+  names.reserve(state.sites.size());
+  for (const std::unique_ptr<SpanSite>& s : state.sites) {
+    names.push_back(s->name());
+  }
+  return names;
 }
 
 std::vector<SpanRegistry::Stat> SpanRegistry::Snapshot() {

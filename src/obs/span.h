@@ -19,12 +19,15 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/context.h"
+
 namespace ird::obs {
 
 // Aggregate for one IRD_SPAN site name. Stable address, like Counter.
+// `id` is the registration index, used by ObsContext delta routing.
 class alignas(64) SpanSite {
  public:
-  explicit SpanSite(std::string name) : name_(std::move(name)) {}
+  SpanSite(std::string name, uint32_t id) : name_(std::move(name)), id_(id) {}
 
   SpanSite(const SpanSite&) = delete;
   SpanSite& operator=(const SpanSite&) = delete;
@@ -32,6 +35,7 @@ class alignas(64) SpanSite {
   void Record(uint64_t ns) {
     count_.fetch_add(1, std::memory_order_relaxed);
     total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    if (ObsContext* ctx = CurrentContext()) ctx->RecordSpan(id_, ns);
   }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t total_ns() const {
@@ -42,9 +46,11 @@ class alignas(64) SpanSite {
     total_ns_.store(0, std::memory_order_relaxed);
   }
   const std::string& name() const { return name_; }
+  uint32_t id() const { return id_; }
 
  private:
   std::string name_;
+  uint32_t id_;
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> total_ns_{0};
 };
@@ -59,6 +65,8 @@ class SpanRegistry {
   };
   // All registered sites, sorted by name.
   static std::vector<Stat> Snapshot();
+  // Names indexed by registration id (for ContextSnapshot).
+  static std::vector<std::string> NamesById();
   static void ResetAll();
 };
 

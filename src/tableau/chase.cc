@@ -179,6 +179,10 @@ class ChaseEngine {
     IRD_COUNT_ADD(chase.equates, equates_);
     IRD_COUNT_ADD(chase.index_repairs, repairs_);
     IRD_COUNT_ADD(chase.worklist_max, worklist_max_);
+    // Distribution of total probe-chain length per chase: the counters
+    // above prove aggregate work shrank, the histogram shows whether any
+    // single chase still walks a pathological chain.
+    IRD_HISTOGRAM(chase.probe_chain, seed_probes_ + reprobes_);
     if (consistent) t_->Canonicalize();
   }
 

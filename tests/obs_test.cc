@@ -6,6 +6,8 @@
 
 #include "obs/obs.h"
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -238,11 +240,226 @@ TEST(ExportTest, DeltaDropsZeroEntriesAndTracksFreshNames) {
 #endif
 }
 
+uint64_t HistCount(std::string_view name) {
+  for (const HistogramRegistry::Stat& h : HistogramRegistry::Snapshot()) {
+    if (h.name == name) return h.count;
+  }
+  return 0;
+}
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwo) {
+  EXPECT_EQ(HistogramSite::BucketOf(0), 0u);
+  EXPECT_EQ(HistogramSite::BucketOf(1), 1u);
+  EXPECT_EQ(HistogramSite::BucketOf(2), 2u);
+  EXPECT_EQ(HistogramSite::BucketOf(3), 2u);
+  EXPECT_EQ(HistogramSite::BucketOf(4), 3u);
+  EXPECT_EQ(HistogramSite::BucketOf(1023), 10u);
+  EXPECT_EQ(HistogramSite::BucketOf(1024), 11u);
+  EXPECT_EQ(HistogramSite::BucketOf(~uint64_t{0}), 64u);
+}
+
+TEST(HistogramTest, QuantilesWalkTheBucketCdf) {
+  // 100 samples of value 1 (bucket 1) and one sample of 1000 (bucket 10):
+  // p50 sits in bucket 1, p99 still in bucket 1 (rank 100 of 101), and
+  // only the very top rank reaches bucket 10.
+  HistogramRegistry::Stat stat;
+  stat.name = "synthetic";
+  stat.buckets[1] = 100;
+  stat.buckets[10] = 1;
+  stat.count = 101;
+  stat.sum = 100 + 1000;
+  EXPECT_GE(HistogramQuantile(stat, 0.50), 1.0);
+  EXPECT_LT(HistogramQuantile(stat, 0.50), 2.0);
+  // Rank 100 of 101 is the last sample of bucket 1, so the interpolation
+  // reaches that bucket's top edge but no further.
+  EXPECT_LE(HistogramQuantile(stat, 0.99), 2.0);
+  EXPECT_GE(HistogramQuantile(stat, 1.00), 512.0);
+  // Empty histogram: quantiles are 0 by convention.
+  HistogramRegistry::Stat empty;
+  EXPECT_EQ(HistogramQuantile(empty, 0.99), 0.0);
+}
+
+// The cross-thread merge: every thread's shard contributes, and the
+// snapshot's count/sum are exact sums over all shards. Runs under the CI
+// TSan job.
+TEST(HistogramTest, CrossThreadMergeCountsExactly) {
+  const uint64_t before = HistCount("obs_test.merge");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        IRD_HISTOGRAM(obs_test.merge, static_cast<uint64_t>(t + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const uint64_t delta = HistCount("obs_test.merge") - before;
+#ifdef IRD_OBS_DISABLED
+  EXPECT_EQ(delta, 0u);
+#else
+  EXPECT_EQ(delta, static_cast<uint64_t>(kThreads) * kPerThread);
+  for (const HistogramRegistry::Stat& h : HistogramRegistry::Snapshot()) {
+    if (h.name != "obs_test.merge") continue;
+    // Values 1..8 land in buckets 1..4; nothing above.
+    uint64_t bucketed = 0;
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (b > 4) {
+        EXPECT_EQ(h.buckets[b], 0u) << "bucket " << b;
+      }
+      bucketed += h.buckets[b];
+    }
+    EXPECT_EQ(bucketed, h.count);
+  }
+#endif
+}
+
+// Snapshot-delta arithmetic stays exact while writers are still running:
+// the delta of a quiescent prefix never goes negative or misattributes,
+// and a delta taken after join accounts for every sample.
+TEST(HistogramTest, SnapshotDeltaUnderConcurrentWriters) {
+  Snapshot before = TakeSnapshot();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kPerThread; ++i) {
+        IRD_HISTOGRAM(obs_test.delta_race, 7);
+        IRD_COUNT(obs_test.delta_race_counter);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Mid-flight deltas must be well-formed (monotone counts, no underflow).
+  for (int probe = 0; probe < 10; ++probe) {
+    Snapshot mid = Delta(before, TakeSnapshot());
+    for (const HistogramRegistry::Stat& h : mid.hists) {
+      uint64_t bucketed = 0;
+      for (uint64_t b : h.buckets) bucketed += b;
+      EXPECT_EQ(bucketed, h.count) << h.name;
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  Snapshot delta = Delta(before, TakeSnapshot());
+#ifdef IRD_OBS_DISABLED
+  EXPECT_TRUE(delta.hists.empty());
+#else
+  bool found = false;
+  for (const HistogramRegistry::Stat& h : delta.hists) {
+    if (h.name != "obs_test.delta_race") continue;
+    found = true;
+    EXPECT_EQ(h.count, static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(h.sum, static_cast<uint64_t>(kThreads) * kPerThread * 7);
+  }
+  EXPECT_TRUE(found);
+#endif
+}
+
+TEST(ContextTest, CapturesOnlyItsOwnOperation) {
+  IRD_COUNT_ADD(obs_test.ctx_outside, 5);  // before the context: not ours
+  ObsContext ctx("op");
+  IRD_COUNT_ADD(obs_test.ctx_inside, 3);
+  IRD_HISTOGRAM(obs_test.ctx_hist, 32);
+  Snapshot snap = ContextSnapshot(ctx);
+#ifdef IRD_OBS_DISABLED
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.hists.empty());
+#else
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "obs_test.ctx_inside");
+  EXPECT_EQ(snap.counters[0].second, 3u);
+  ASSERT_EQ(snap.hists.size(), 1u);
+  EXPECT_EQ(snap.hists[0].name, "obs_test.ctx_hist");
+  EXPECT_EQ(snap.hists[0].count, 1u);
+  EXPECT_EQ(snap.hists[0].sum, 32u);
+#endif
+}
+
+TEST(ContextTest, NestedContextFoldsIntoParentOnDestruction) {
+  ObsContext outer("outer");
+  IRD_COUNT_ADD(obs_test.ctx_nested, 2);
+  {
+    ObsContext inner("inner");
+    IRD_COUNT_ADD(obs_test.ctx_nested, 3);
+#ifndef IRD_OBS_DISABLED
+    // While inner is installed, the new tally is inner's alone...
+    Snapshot in = ContextSnapshot(inner);
+    ASSERT_EQ(in.counters.size(), 1u);
+    EXPECT_EQ(in.counters[0].second, 3u);
+    Snapshot out = ContextSnapshot(outer);
+    ASSERT_EQ(out.counters.size(), 1u);
+    EXPECT_EQ(out.counters[0].second, 2u);
+#endif
+  }
+  // ...and folds into outer when inner ends (the inner op is part of the
+  // outer one).
+  Snapshot out = ContextSnapshot(outer);
+#ifdef IRD_OBS_DISABLED
+  EXPECT_TRUE(out.counters.empty());
+#else
+  ASSERT_EQ(out.counters.size(), 1u);
+  EXPECT_EQ(out.counters[0].second, 5u);
+#endif
+}
+
+// A worker thread adopting the context via ObsContextScope attributes its
+// tallies to the adopted context — the BatchAnalyzer handout contract.
+TEST(ContextTest, AdoptedWorkersAttributeToTheContext) {
+  ObsContext ctx("batch");
+  std::thread worker([&] {
+    ObsContextScope adopt(&ctx);
+    IRD_COUNT_ADD(obs_test.ctx_worker, 4);
+    IRD_HISTOGRAM(obs_test.ctx_worker_hist, 9);
+  });
+  worker.join();
+  Snapshot snap = ContextSnapshot(ctx);
+#ifdef IRD_OBS_DISABLED
+  EXPECT_TRUE(snap.counters.empty());
+#else
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "obs_test.ctx_worker");
+  EXPECT_EQ(snap.counters[0].second, 4u);
+  ASSERT_EQ(snap.hists.size(), 1u);
+  EXPECT_EQ(snap.hists[0].sum, 9u);
+#endif
+}
+
+TEST(ContextTest, ScopeShieldsAndRestoresThePreviousContext) {
+  EXPECT_EQ(CurrentContext(), nullptr);
+  ObsContext ctx("shield");
+  EXPECT_EQ(CurrentContext(), &ctx);
+  {
+    ObsContextScope shield(nullptr);
+    EXPECT_EQ(CurrentContext(), nullptr);
+  }
+  EXPECT_EQ(CurrentContext(), &ctx);
+}
+
+// Destroying contexts out of LIFO order is a programming error (the
+// delta-folding bookkeeping would corrupt) and must abort loudly.
+using ContextDeathTest = ::testing::Test;
+TEST(ContextDeathTest, OutOfOrderDestructionAborts) {
+  EXPECT_DEATH(
+      {
+        auto outer = std::make_unique<ObsContext>("outer");
+        auto inner = std::make_unique<ObsContext>("inner");
+        outer.reset();  // outer dies while inner is still installed
+      },
+      "LIFO");
+}
+
 // ResetAll is process-global, so this test must run last in the binary
 // (gtest runs tests in declaration order within a file; nothing else in
 // this binary depends on prior counter values after this point).
 TEST(ExportTest, ZZResetAllZeroesEverything) {
   IRD_COUNT(obs_test.reset);
+  IRD_HISTOGRAM(obs_test.reset_hist, 42);
   ResetAll();
   for (const auto& [name, value] : CounterRegistry::Snapshot()) {
     EXPECT_EQ(value, 0u) << name;
@@ -250,6 +467,10 @@ TEST(ExportTest, ZZResetAllZeroesEverything) {
   for (const SpanRegistry::Stat& s : SpanRegistry::Snapshot()) {
     EXPECT_EQ(s.count, 0u) << s.name;
     EXPECT_EQ(s.total_ns, 0u) << s.name;
+  }
+  for (const HistogramRegistry::Stat& h : HistogramRegistry::Snapshot()) {
+    EXPECT_EQ(h.count, 0u) << h.name;
+    EXPECT_EQ(h.sum, 0u) << h.name;
   }
 }
 

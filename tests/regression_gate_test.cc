@@ -1,0 +1,189 @@
+// The variance-aware bench regression gate (bench/regression_gate.h),
+// driven on synthetic records so the outcomes are deterministic:
+//   * a clean rerun (identical work counts, noisy-but-close timings)
+//     passes;
+//   * an injected 3x tail-latency regression on one histogram fails with
+//     that metric named in the diff table — the acceptance fixture for
+//     the CI `--baseline` gate;
+//   * a changed work count fails exactly;
+//   * uniformly slower runs are absorbed by the speed calibration;
+//   * missing workloads fail, new metrics are flagged without failing.
+
+#include "bench/regression_gate.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ird::bench {
+namespace {
+
+// One synthetic workload record: fixed work counts, parameterized
+// timings. `speed` scales every wall-clock metric (1.0 = baseline
+// machine); `tail` additionally scales the _ns histogram quantiles.
+RecordView MakeRecord(double speed, double tail) {
+  RecordView r;
+  r.bench = "synthetic";
+  r.counters = {{"closure.computations", 2500}, {"recognition.runs", 25}};
+  r.span_count = {{"recognition", 25}, {"kep", 25}};
+  r.span_total_us = {{"recognition", 10000.0 * speed},
+                     {"kep", 4000.0 * speed}};
+  r.hists["closure.iterations_per_call"] =
+      HistView{2500, 8.0, 28.0, 60.0};  // size hist: machine-independent
+  r.hists["recognition.scheme_ns"] =
+      HistView{2500, 200000.0 * speed, 380000.0 * speed,
+               520000.0 * speed * tail};
+  return r;
+}
+
+std::vector<std::vector<RecordView>> Runs(
+    std::initializer_list<RecordView> records) {
+  std::vector<std::vector<RecordView>> runs;
+  for (const RecordView& r : records) runs.push_back({r});
+  return runs;
+}
+
+TEST(RegressionGateTest, CleanRerunPasses) {
+  std::vector<RecordView> base = {MakeRecord(1.0, 1.0)};
+  // Three runs with ordinary timing noise around the baseline.
+  GateReport report = RunGate(
+      base,
+      Runs({MakeRecord(0.95, 1.0), MakeRecord(1.05, 1.0),
+            MakeRecord(1.10, 1.0)}),
+      GateOptions{});
+  EXPECT_TRUE(report.ok()) << report.RenderTable();
+  EXPECT_EQ(report.failures(), 0u);
+}
+
+TEST(RegressionGateTest, InjectedTailLatencyRegressionFails) {
+  std::vector<RecordView> base = {MakeRecord(1.0, 1.0)};
+  // Same machine speed, but recognition.scheme_ns p99 is 3x the baseline
+  // in every run: a genuine tail regression, beyond the one-log-bucket
+  // margin the gate allows for _ns quantiles.
+  GateReport report = RunGate(
+      base,
+      Runs({MakeRecord(1.0, 3.0), MakeRecord(1.02, 3.0),
+            MakeRecord(0.98, 3.0)}),
+      GateOptions{});
+  EXPECT_FALSE(report.ok());
+  bool named = false;
+  for (const GateRow& row : report.rows) {
+    if (row.failed) {
+      EXPECT_EQ(row.metric, "hist recognition.scheme_ns p99");
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named) << report.RenderTable();
+  EXPECT_NE(report.RenderTable().find("FAIL"), std::string::npos);
+}
+
+TEST(RegressionGateTest, WorkCountDriftFailsExactly) {
+  std::vector<RecordView> base = {MakeRecord(1.0, 1.0)};
+  RecordView drifted = MakeRecord(1.0, 1.0);
+  drifted.counters["closure.computations"] = 2501;  // off by one
+  GateReport report = RunGate(base, Runs({drifted}), GateOptions{});
+  EXPECT_FALSE(report.ok());
+  bool found = false;
+  for (const GateRow& row : report.rows) {
+    if (row.metric == "counter closure.computations") {
+      EXPECT_TRUE(row.failed);
+      EXPECT_EQ(row.note, "exact");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RegressionGateTest, UniformlySlowerRunnerIsCalibratedAway) {
+  std::vector<RecordView> base = {MakeRecord(1.0, 1.0)};
+  // Every wall-clock metric 2.5x slower — a slower CI machine, not a
+  // regression. The per-run speed factor must absorb it.
+  GateReport report =
+      RunGate(base, Runs({MakeRecord(2.5, 1.0), MakeRecord(2.5, 1.0)}),
+              GateOptions{});
+  EXPECT_TRUE(report.ok()) << report.RenderTable();
+  ASSERT_EQ(report.run_speed.size(), 2u);
+  EXPECT_NEAR(report.run_speed[0], 2.5, 0.01);
+}
+
+TEST(RegressionGateTest, SizeHistogramsAreNotSpeedCalibrated) {
+  std::vector<RecordView> base = {MakeRecord(1.0, 1.0)};
+  // A uniformly slower machine whose size distribution ALSO drifted 3x:
+  // the speed factor must not excuse the size drift.
+  RecordView r = MakeRecord(2.5, 1.0);
+  r.hists["closure.iterations_per_call"] =
+      HistView{2500, 24.0, 84.0, 180.0};
+  GateReport report = RunGate(base, Runs({r}), GateOptions{});
+  EXPECT_FALSE(report.ok());
+  bool found = false;
+  for (const GateRow& row : report.rows) {
+    if (row.failed) {
+      EXPECT_EQ(row.metric.find("hist closure.iterations_per_call"), 0u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << report.RenderTable();
+}
+
+TEST(RegressionGateTest, SparseHistogramQuantilesAreNotGated) {
+  RecordView base_rec = MakeRecord(1.0, 1.0);
+  base_rec.hists["recognition.scheme_ns"].count = 5;  // p99 = max sample
+  RecordView run_rec = MakeRecord(1.0, 4.0);
+  run_rec.hists["recognition.scheme_ns"].count = 5;
+  GateReport report =
+      RunGate({base_rec}, Runs({run_rec}), GateOptions{});
+  EXPECT_TRUE(report.ok()) << report.RenderTable();
+  EXPECT_NE(report.RenderTable().find("sparse"), std::string::npos);
+}
+
+TEST(RegressionGateTest, MissingWorkloadFailsNewMetricsFlagged) {
+  std::vector<RecordView> base = {MakeRecord(1.0, 1.0)};
+  GateReport empty_run = RunGate(base, {{}}, GateOptions{});
+  EXPECT_FALSE(empty_run.ok());
+  ASSERT_EQ(empty_run.rows.size(), 1u);
+  EXPECT_EQ(empty_run.rows[0].note, "missing");
+
+  RecordView extra = MakeRecord(1.0, 1.0);
+  extra.counters["brand.new_counter"] = 7;
+  GateReport with_new = RunGate(base, Runs({extra}), GateOptions{});
+  EXPECT_TRUE(with_new.ok()) << with_new.RenderTable();
+  EXPECT_NE(with_new.RenderTable().find("new"), std::string::npos);
+}
+
+TEST(RegressionGateTest, ParseBenchJsonRoundTrip) {
+  const std::string json = R"([
+{"bench":"w1","counters":{"a":3,"b":12},
+ "spans_us":{"s":{"count":4,"total_us":250}},
+ "hists":{"h_ns":{"count":100,"sum":5000,"p50":40.0,"p90":90.5,
+                  "p99":120.0,"buckets":[[5,60],[6,40]]}}}
+])";
+  Result<std::vector<RecordView>> parsed = ParseBenchJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  const RecordView& r = (*parsed)[0];
+  EXPECT_EQ(r.bench, "w1");
+  EXPECT_EQ(r.counters.at("a"), 3u);
+  EXPECT_EQ(r.span_count.at("s"), 4u);
+  EXPECT_DOUBLE_EQ(r.span_total_us.at("s"), 250.0);
+  EXPECT_EQ(r.hists.at("h_ns").count, 100u);
+  EXPECT_DOUBLE_EQ(r.hists.at("h_ns").p90, 90.5);
+}
+
+TEST(RegressionGateTest, ParseBenchJsonToleratesPrePr8Baselines) {
+  // Records without a "hists" key (earlier trajectory files) parse with
+  // empty histogram views instead of failing.
+  const std::string json =
+      R"([{"bench":"old","counters":{"a":1},"spans_us":{}}])";
+  Result<std::vector<RecordView>> parsed = ParseBenchJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE((*parsed)[0].hists.empty());
+}
+
+TEST(RegressionGateTest, ParseBenchJsonRejectsGarbage) {
+  EXPECT_FALSE(ParseBenchJson("{not json").ok());
+  EXPECT_FALSE(ParseBenchJson("[{\"bench\":3}]").ok());
+}
+
+}  // namespace
+}  // namespace ird::bench

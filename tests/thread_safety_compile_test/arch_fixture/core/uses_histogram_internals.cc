@@ -1,0 +1,4 @@
+// FIXTURE: goes around the obs facade straight to the histogram
+// internals (instrumentation sites must use the obs/obs.h macros; tools
+// read quantiles through obs/export.h).
+#include "obs/histogram.h"
