@@ -1,0 +1,133 @@
+// Memory-substrate microbenchmarks: the primitive operations the PR9
+// refactor targets, isolated from the algorithms above them. Set algebra on
+// inline vs spilled AttributeSets, subset probes, warm closure queries
+// against the CSR index, a struct-of-arrays row scan, and the end-to-end
+// state-tableau chase that exercises the arena. The substrate workload in
+// ird_stats records the same paths with counters; this binary gives them
+// wall-clock numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_main.h"
+
+#include "base/attribute_set.h"
+#include "fd/closure_engine.h"
+#include "relation/weak_instance.h"
+#include "tableau/chase.h"
+#include "workload/generators.h"
+
+namespace ird {
+namespace {
+
+// Union of two interleaved sets that fit the two inline words (< 128).
+void BM_SetUnionInline(benchmark::State& bench) {
+  AttributeSet a;
+  AttributeSet b;
+  for (AttributeId i = 0; i < 120; i += 2) {
+    a.Add(i);
+    b.Add(i + 1);
+  }
+  for (auto _ : bench) {
+    AttributeSet u = a;
+    u.UnionWith(b);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_SetUnionInline);
+
+// Same shape past the spill threshold: the operands live on the heap and
+// the copy re-compacts into an exact-size allocation.
+void BM_SetUnionSpilled(benchmark::State& bench) {
+  AttributeSet a;
+  AttributeSet b;
+  for (AttributeId i = 0; i < 400; i += 2) {
+    a.Add(i);
+    b.Add(i + 1);
+  }
+  for (auto _ : bench) {
+    AttributeSet u = a;
+    u.UnionWith(b);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_SetUnionSpilled);
+
+// Subset probes over a ladder of nested sets — the innermost loop of the
+// KEP refinement and of Algorithm 2's key scan.
+void BM_SetSubset(benchmark::State& bench) {
+  std::vector<AttributeSet> ladder;
+  AttributeSet acc;
+  for (AttributeId i = 0; i < 96; ++i) {
+    acc.Add(i);
+    if (i % 8 == 7) ladder.push_back(acc);
+  }
+  for (auto _ : bench) {
+    size_t hits = 0;
+    for (size_t i = 0; i < ladder.size(); ++i) {
+      for (size_t j = 0; j < ladder.size(); ++j) {
+        hits += ladder[i].IsSubsetOf(ladder[j]) ? 1 : 0;
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_SetSubset);
+
+// Warm closure queries: the engine's CSR index and reused scratch make
+// each call allocation-free (tests/allocation_test.cc proves it; this
+// measures it).
+void BM_ClosureWarm(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeChainScheme(16);
+  ClosureEngine engine(scheme.key_dependencies());
+  AttributeSet seed = scheme.relation(0).attrs;
+  benchmark::DoNotOptimize(engine.Closure(seed));  // size the scratch
+  for (auto _ : bench) {
+    AttributeSet closure = engine.Closure(seed);
+    benchmark::DoNotOptimize(closure);
+  }
+}
+BENCHMARK(BM_ClosureWarm);
+
+// Row scan over the struct-of-arrays cell buffer: one contiguous strip per
+// row, no per-row indirection.
+void BM_TableauRowScan(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeChainScheme(12);
+  StateGenOptions opt;
+  opt.entities = 300;
+  opt.seed = 23;
+  DatabaseState state = MakeConsistentState(scheme, opt);
+  Tableau t = StateTableau(state);
+  for (auto _ : bench) {
+    uint64_t sum = 0;
+    for (size_t r = 0; r < t.row_count(); ++r) {
+      for (SymId s : t.Row(r)) sum += s;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  bench.counters["rows"] = static_cast<double>(t.row_count());
+}
+BENCHMARK(BM_TableauRowScan);
+
+// End-to-end substrate path: materialize the state tableau and chase it.
+// Every structure the chase touches — cells, symbols, merge log, engine
+// indexes — lives on an arena sized before the worklist drain.
+void BM_ChaseStateTableau(benchmark::State& bench) {
+  DatabaseScheme scheme = MakeChainScheme(12);
+  StateGenOptions opt;
+  opt.entities = static_cast<size_t>(bench.range(0));
+  opt.seed = 23;
+  DatabaseState state = MakeConsistentState(scheme, opt);
+  for (auto _ : bench) {
+    Tableau t = StateTableau(state);
+    ChaseStats stats = ChaseFds(&t, scheme.key_dependencies());
+    benchmark::DoNotOptimize(stats);
+    IRD_CHECK(stats.consistent);
+  }
+  bench.counters["tuples"] = static_cast<double>(state.TupleCount());
+}
+BENCHMARK(BM_ChaseStateTableau)->Arg(50)->Arg(200)->Arg(800);
+
+}  // namespace
+}  // namespace ird
+
+IRD_BENCHMARK_MAIN();

@@ -59,6 +59,7 @@
 #include "core/split.h"
 #include "engine/batch.h"
 #include "engine/scheme_analysis.h"
+#include "fd/closure_engine.h"
 #include "io/text_format.h"
 #include "obs/export.h"
 #include "relation/weak_instance.h"
@@ -249,6 +250,35 @@ std::vector<WorkloadRecord> RunStandardWorkloads(size_t scale,
         }));
   }
 
+  if (want("substrate")) {
+    // The memory-substrate paths in one record: repeated state-tableau
+    // chases (struct-of-arrays cells + arena-backed engine; arena.bytes /
+    // arena.highwater come from here) and warm closure queries against the
+    // CSR index. bench/bench_substrate.cc times the same primitives.
+    const size_t chain = 12, entities = 150, reps = 10 * scale;
+    DatabaseScheme scheme = MakeChainScheme(chain);
+    StateGenOptions opt;
+    opt.entities = entities;
+    opt.seed = 23;
+    DatabaseState state = MakeConsistentState(scheme, opt);
+    records.push_back(RunWorkload(
+        "substrate",
+        ConfigJson({{"chain_n", chain},
+                    {"entities", entities},
+                    {"reps", reps}}),
+        [&] {
+          ClosureEngine closure(scheme.key_dependencies());
+          for (size_t i = 0; i < reps; ++i) {
+            Tableau t = StateTableau(state);
+            ChaseStats stats = ChaseFds(&t, scheme.key_dependencies());
+            IRD_CHECK(stats.consistent);
+            for (size_t j = 0; j < scheme.size(); ++j) {
+              (void)closure.Closure(scheme.relation(j).attrs);
+            }
+          }
+        }));
+  }
+
   if (want("sharded_maintenance")) {
     // The sharded engine (E2's parallel arm): a two-block Example 11-shaped
     // scheme takes a batched insert storm through ShardedMaintainer and a
@@ -388,6 +418,9 @@ constexpr const char* kRequiredCounters[] = {
     "maintain.alg5.rejects",
     "maintain.alg2.checks", "maintain.alg2.lookups",
     "maintain.alg2.keys_processed",   "maintain.alg2.rejects",
+    // PR9 memory substrate: chase-side arena footprint, flushed per
+    // ChaseFds by tableau/chase.cc (base itself is obs-free).
+    "arena.bytes",          "arena.highwater",
 };
 
 int Run(const Args& args) {
@@ -395,7 +428,7 @@ int Run(const Args& args) {
     std::printf(
         "recognition_block\nrecognition_independent\nrecognition_random\n"
         "recognition_shared_context\nsplit_analysis\nchase_consistency\n"
-        "sharded_maintenance\nclassify_anchors (--anchors)\n");
+        "substrate\nsharded_maintenance\nclassify_anchors (--anchors)\n");
     return 0;
   }
   if (!args.trace.empty()) obs::Trace::SetEnabled(true);

@@ -1,0 +1,35 @@
+#include "base/arena.h"
+
+namespace ird {
+
+void Arena::NewBlock(size_t min_bytes) {
+  size_t payload = next_block_bytes_;
+  if (payload < min_bytes) payload = min_bytes;
+  // Header is carved out of the block itself; round its footprint up to the
+  // allocation alignment so payload pointers stay aligned.
+  constexpr size_t kHeaderBytes =
+      (sizeof(BlockHeader) + kAlign - 1) & ~(kAlign - 1);
+  const size_t total = kHeaderBytes + payload;
+  char* raw = static_cast<char*>(::operator new(total));
+  auto* header = reinterpret_cast<BlockHeader*>(raw);
+  header->prev = head_;
+  header->size = total;
+  head_ = header;
+  bump_ = raw + kHeaderBytes;
+  limit_ = raw + total;
+  bytes_reserved_ += total;
+  if (next_block_bytes_ < kMaxBlockBytes) next_block_bytes_ *= 2;
+}
+
+void Arena::FreeBlocks() {
+  BlockHeader* block = head_;
+  while (block != nullptr) {
+    BlockHeader* prev = block->prev;
+    ::operator delete(static_cast<void*>(block));
+    block = prev;
+  }
+  head_ = nullptr;
+  bump_ = limit_ = nullptr;
+}
+
+}  // namespace ird

@@ -1,123 +1,63 @@
 #include "base/attribute_set.h"
 
-#include <algorithm>
+#include <cstring>
 
 namespace ird {
 
 AttributeSet AttributeSet::AllUpTo(AttributeId n) {
   AttributeSet s;
   if (n == 0) return s;
-  s.words_.assign((n + 63) / 64, ~uint64_t{0});
-  int spare = static_cast<int>(s.words_.size() * 64 - n);
-  if (spare > 0) {
-    s.words_.back() >>= spare;
-  }
+  const uint32_t nwords = (n + 63) / 64;
+  s.ExtendTo(nwords);
+  uint64_t* w = s.MutableWords();
+  for (uint32_t i = 0; i < nwords; ++i) w[i] = ~uint64_t{0};
+  const int spare = static_cast<int>(nwords * 64 - n);
+  if (spare > 0) w[nwords - 1] >>= spare;
   s.Normalize();
   return s;
 }
 
-void AttributeSet::Add(AttributeId id) {
-  size_t w = id / 64;
-  if (w >= words_.size()) {
-    words_.resize(w + 1, 0);
+void AttributeSet::SpillTo(uint32_t nwords) {
+  uint32_t newcap = capacity_ * 2;
+  if (newcap < nwords) newcap = nwords;
+  uint64_t* buf = new uint64_t[newcap];
+  std::memcpy(buf, words(), size_ * sizeof(uint64_t));
+  std::memset(buf + size_, 0, (newcap - size_) * sizeof(uint64_t));
+  ReleaseHeap();
+  rep_.heap = buf;
+  capacity_ = newcap;
+  size_ = nwords;
+}
+
+void AttributeSet::CopyFrom(const AttributeSet& other) {
+  size_ = other.size_;
+  if (size_ <= kInlineWords) {
+    // Re-compact: even if the source spilled, a small logical prefix fits
+    // inline in the copy.
+    capacity_ = kInlineWords;
+    std::memcpy(rep_.inline_words, other.words(), size_ * sizeof(uint64_t));
+  } else {
+    capacity_ = size_;
+    rep_.heap = new uint64_t[capacity_];
+    std::memcpy(rep_.heap, other.rep_.heap, size_ * sizeof(uint64_t));
   }
-  words_[w] |= uint64_t{1} << (id % 64);
-}
-
-void AttributeSet::Remove(AttributeId id) {
-  size_t w = id / 64;
-  if (w >= words_.size()) return;
-  words_[w] &= ~(uint64_t{1} << (id % 64));
-  Normalize();
-}
-
-bool AttributeSet::Contains(AttributeId id) const {
-  size_t w = id / 64;
-  if (w >= words_.size()) return false;
-  return (words_[w] >> (id % 64)) & 1;
-}
-
-AttributeSet& AttributeSet::UnionWith(const AttributeSet& other) {
-  if (other.words_.size() > words_.size()) {
-    words_.resize(other.words_.size(), 0);
-  }
-  for (size_t i = 0; i < other.words_.size(); ++i) {
-    words_[i] |= other.words_[i];
-  }
-  return *this;
-}
-
-AttributeSet& AttributeSet::IntersectWith(const AttributeSet& other) {
-  if (words_.size() > other.words_.size()) {
-    words_.resize(other.words_.size());
-  }
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= other.words_[i];
-  }
-  Normalize();
-  return *this;
-}
-
-AttributeSet& AttributeSet::SubtractAll(const AttributeSet& other) {
-  size_t n = std::min(words_.size(), other.words_.size());
-  for (size_t i = 0; i < n; ++i) {
-    words_[i] &= ~other.words_[i];
-  }
-  Normalize();
-  return *this;
-}
-
-AttributeSet AttributeSet::Union(const AttributeSet& other) const {
-  AttributeSet out = *this;
-  out.UnionWith(other);
-  return out;
-}
-
-AttributeSet AttributeSet::Intersect(const AttributeSet& other) const {
-  AttributeSet out = *this;
-  out.IntersectWith(other);
-  return out;
-}
-
-AttributeSet AttributeSet::Minus(const AttributeSet& other) const {
-  AttributeSet out = *this;
-  out.SubtractAll(other);
-  return out;
-}
-
-bool AttributeSet::IsSubsetOf(const AttributeSet& other) const {
-  if (words_.size() > other.words_.size()) return false;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  }
-  return true;
-}
-
-bool AttributeSet::IsProperSubsetOf(const AttributeSet& other) const {
-  return IsSubsetOf(other) && *this != other;
-}
-
-bool AttributeSet::Intersects(const AttributeSet& other) const {
-  size_t n = std::min(words_.size(), other.words_.size());
-  for (size_t i = 0; i < n; ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  }
-  return false;
 }
 
 size_t AttributeSet::Count() const {
   size_t total = 0;
-  for (uint64_t w : words_) {
-    total += static_cast<size_t>(__builtin_popcountll(w));
+  const uint64_t* w = words();
+  for (uint32_t i = 0; i < size_; ++i) {
+    total += static_cast<size_t>(__builtin_popcountll(w[i]));
   }
   return total;
 }
 
 AttributeId AttributeSet::First() const {
   IRD_CHECK_MSG(!Empty(), "First() on empty AttributeSet");
-  for (size_t w = 0; w < words_.size(); ++w) {
-    if (words_[w] != 0) {
-      return static_cast<AttributeId>(w * 64 + __builtin_ctzll(words_[w]));
+  const uint64_t* w = words();
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (w[i] != 0) {
+      return static_cast<AttributeId>(i * 64 + __builtin_ctzll(w[i]));
     }
   }
   IRD_CHECK(false);
@@ -125,13 +65,14 @@ AttributeId AttributeSet::First() const {
 }
 
 size_t AttributeSet::Rank(AttributeId id) const {
-  size_t w = id / 64;
+  const uint32_t w = id / 64;
+  const uint64_t* words_ptr = words();
   size_t rank = 0;
-  for (size_t i = 0; i < w && i < words_.size(); ++i) {
-    rank += static_cast<size_t>(__builtin_popcountll(words_[i]));
+  for (uint32_t i = 0; i < w && i < size_; ++i) {
+    rank += static_cast<size_t>(__builtin_popcountll(words_ptr[i]));
   }
-  if (w < words_.size()) {
-    uint64_t below = words_[w] & ((uint64_t{1} << (id % 64)) - 1);
+  if (w < size_) {
+    uint64_t below = words_ptr[w] & ((uint64_t{1} << (id % 64)) - 1);
     rank += static_cast<size_t>(__builtin_popcountll(below));
   }
   return rank;
@@ -147,19 +88,20 @@ std::vector<AttributeId> AttributeSet::ToVector() const {
 bool AttributeSet::operator<(const AttributeSet& other) const {
   // Compare from the most significant end so the order refines "size of the
   // largest element", giving a stable, intuitive enumeration order.
-  if (words_.size() != other.words_.size()) {
-    return words_.size() < other.words_.size();
-  }
-  for (size_t i = words_.size(); i-- > 0;) {
-    if (words_[i] != other.words_[i]) return words_[i] < other.words_[i];
+  if (size_ != other.size_) return size_ < other.size_;
+  const uint64_t* w = words();
+  const uint64_t* o = other.words();
+  for (uint32_t i = size_; i-- > 0;) {
+    if (w[i] != o[i]) return w[i] < o[i];
   }
   return false;
 }
 
 size_t AttributeSet::Hash() const {
   uint64_t h = 1469598103934665603ull;  // FNV offset basis
-  for (uint64_t w : words_) {
-    h ^= w;
+  const uint64_t* w = words();
+  for (uint32_t i = 0; i < size_; ++i) {
+    h ^= w[i];
     h *= 1099511628211ull;  // FNV prime
   }
   return static_cast<size_t>(h);
@@ -175,12 +117,6 @@ std::string AttributeSet::DebugString() const {
   });
   out += "}";
   return out;
-}
-
-void AttributeSet::Normalize() {
-  while (!words_.empty() && words_.back() == 0) {
-    words_.pop_back();
-  }
 }
 
 }  // namespace ird

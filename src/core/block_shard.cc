@@ -29,24 +29,27 @@ Result<BlockShard> BlockShard::Build(const DatabaseState& state,
         RepresentativeIndex::Build(shard.substate_, shard.pool_);
     if (!rep.ok()) return rep.status();
     shard.rep_index_ = std::move(rep).value();
+    shard.pool_keys_ =
+        DistinctPoolKeys(shard.substate_.scheme(), shard.pool_);
   }
   return shard;
 }
 
 Result<PartialTuple> BlockShard::CheckInsert(size_t rel,
                                              const PartialTuple& tuple,
-                                             MaintenanceStats* stats) const {
+                                             MaintenanceStats* stats,
+                                             MaintainScratch* scratch) const {
   if (split_free_) {
     ExtensionStats ext_stats;
     Result<PartialTuple> q = CheckInsertCtm(substate_.scheme(), *key_index_,
-                                            rel, tuple, &ext_stats);
+                                            rel, tuple, &ext_stats, scratch);
     if (stats != nullptr) {
       stats->lookups += ext_stats.probes;
     }
     return q;
   }
-  return CheckInsertKeyEquivalent(substate_.scheme(), pool_, *rep_index_,
-                                  rel, tuple, stats);
+  return CheckInsertKeyEquivalent(substate_.scheme(), pool_keys_,
+                                  *rep_index_, rel, tuple, stats, scratch);
 }
 
 Status BlockShard::Apply(size_t rel, const PartialTuple& tuple) {
@@ -57,11 +60,12 @@ Status BlockShard::Apply(size_t rel, const PartialTuple& tuple) {
   return rep_index_->InsertTuple(rel, tuple);
 }
 
-Status BlockShard::Insert(size_t rel, const PartialTuple& tuple) {
+Status BlockShard::Insert(size_t rel, const PartialTuple& tuple,
+                          MaintainScratch* scratch) {
   // End-to-end per-insert latency (check + apply), on top of the per-path
   // check histograms inside CheckInsertCtm / CheckInsertKeyEquivalent.
   IRD_HISTOGRAM_TIMER_NS(shard.insert_ns);
-  Result<PartialTuple> q = CheckInsert(rel, tuple);
+  Result<PartialTuple> q = CheckInsert(rel, tuple, nullptr, scratch);
   if (!q.ok()) return q.status();
   return Apply(rel, tuple);
 }

@@ -47,21 +47,27 @@ class BlockShard {
   // Block-local validation: Algorithm 5 (split-free) or Algorithm 2
   // (split), against this shard's state only. `rel` must belong to the
   // pool. Returns the block-extended tuple q on yes, kInconsistent on no.
-  // Pure.
+  // Pure. `scratch` (optional, never shared between threads) recycles the
+  // restriction/join buffers across checks.
   Result<PartialTuple> CheckInsert(size_t rel, const PartialTuple& tuple,
-                                   MaintenanceStats* stats = nullptr) const;
+                                   MaintenanceStats* stats = nullptr,
+                                   MaintainScratch* scratch = nullptr) const;
 
   // Applies an insert this shard has already validated: updates the owned
   // substate and whichever index drives the block's algorithm.
   Status Apply(size_t rel, const PartialTuple& tuple);
 
   // CheckInsert + Apply.
-  Status Insert(size_t rel, const PartialTuple& tuple);
+  Status Insert(size_t rel, const PartialTuple& tuple,
+                MaintainScratch* scratch = nullptr);
 
  private:
   BlockShard() : substate_(DatabaseScheme::Create()) {}
 
   std::vector<size_t> pool_;
+  // Algorithm 2's distinct-key worklist universe, precomputed at Build so
+  // per-insert checks skip the scan (split blocks only).
+  std::vector<AttributeSet> pool_keys_;
   bool split_free_ = false;
   DatabaseState substate_;
   // Split-free blocks: raw-state key indexes driving Algorithm 5.

@@ -1,5 +1,7 @@
 #include "core/ctm_maintainer.h"
 
+#include <utility>
+
 #include "core/key_equivalence.h"
 #include "core/split.h"
 #include "obs/obs.h"
@@ -10,7 +12,8 @@ namespace ird {
 Result<PartialTuple> CheckInsertCtm(const DatabaseScheme& scheme,
                                     const StateKeyIndex& index, size_t rel,
                                     const PartialTuple& tuple,
-                                    ExtensionStats* stats) {
+                                    ExtensionStats* stats,
+                                    MaintainScratch* scratch) {
   IRD_CHECK(tuple.attrs() == scheme.relation(rel).attrs);
   IRD_COUNT(maintain.alg5.checks);
   // Per-check latency distribution: Theorem 5.5 claims this path is
@@ -28,18 +31,20 @@ Result<PartialTuple> CheckInsertCtm(const DatabaseScheme& scheme,
       stats->extensions += local.extensions;
     }
   };
+  MaintainScratch local_scratch;
+  MaintainScratch* s = scratch != nullptr ? scratch : &local_scratch;
   // Step (1)-(2): q := t ⋈ t'_1 ⋈ ... ⋈ t'_n over the keys of S_rel.
   PartialTuple q = tuple;
   for (const AttributeSet& key : scheme.relation(rel).keys) {
+    tuple.RestrictInto(key, &s->key_seed);
     Result<PartialTuple> extended =
-        ExtendTuple(scheme, index, tuple.Restrict(key), &local);
+        ExtendTuple(scheme, index, s->key_seed, &local, s);
     if (!extended.ok()) {
       IRD_COUNT(maintain.alg5.rejects);
       flush();
       return extended.status();
     }
-    std::optional<PartialTuple> joined = q.Join(extended.value());
-    if (!joined.has_value()) {
+    if (!q.JoinInto(extended.value(), &s->joined)) {
       // Step (3): q = ∅ — the insert contradicts the existing total tuple
       // on this key.
       IRD_COUNT(maintain.alg5.rejects);
@@ -47,7 +52,7 @@ Result<PartialTuple> CheckInsertCtm(const DatabaseScheme& scheme,
       return Inconsistent("inserted tuple contradicts the total tuple on " +
                           scheme.universe().Format(key));
     }
-    q = std::move(*joined);
+    std::swap(q, s->joined);
   }
   flush();
   return q;

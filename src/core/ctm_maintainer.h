@@ -16,11 +16,13 @@ namespace ird {
 
 // Algorithm 5 on one instance <s, t>: extends t on each key of its scheme
 // (Algorithm 4) and intersects the results. Returns the joined tuple q on
-// yes, kInconsistent on no. Pure.
+// yes, kInconsistent on no. Pure. `scratch` (optional) recycles the
+// restriction/join buffers across checks.
 Result<PartialTuple> CheckInsertCtm(const DatabaseScheme& scheme,
                                     const StateKeyIndex& index, size_t rel,
                                     const PartialTuple& tuple,
-                                    ExtensionStats* stats = nullptr);
+                                    ExtensionStats* stats = nullptr,
+                                    MaintainScratch* scratch = nullptr);
 
 // Stateful wrapper over a whole split-free key-equivalent scheme.
 class CtmMaintainer {

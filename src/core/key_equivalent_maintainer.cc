@@ -1,22 +1,15 @@
 #include "core/key_equivalent_maintainer.h"
 
 #include <numeric>
+#include <utility>
 
 #include "core/key_equivalence.h"
 #include "obs/obs.h"
 
 namespace ird {
 
-Result<PartialTuple> CheckInsertKeyEquivalent(
-    const DatabaseScheme& scheme, const std::vector<size_t>& pool,
-    const RepresentativeIndex& index, size_t rel, const PartialTuple& tuple,
-    MaintenanceStats* stats) {
-  IRD_CHECK(tuple.attrs() == scheme.relation(rel).attrs);
-  IRD_COUNT(maintain.alg2.checks);
-  // Algorithm 2's per-check latency: the expression-maintenance side of
-  // the paper's constant-vs-growing comparison with maintain.alg5.check_ns.
-  IRD_HISTOGRAM_TIMER_NS(maintain.alg2.check_ns);
-  // Distinct keys embedded in the pool's relations.
+std::vector<AttributeSet> DistinctPoolKeys(const DatabaseScheme& scheme,
+                                           const std::vector<size_t>& pool) {
   std::vector<AttributeSet> pool_keys;
   for (size_t i : pool) {
     for (const AttributeSet& key : scheme.relation(i).keys) {
@@ -30,52 +23,74 @@ Result<PartialTuple> CheckInsertKeyEquivalent(
       if (!known) pool_keys.push_back(key);
     }
   }
+  return pool_keys;
+}
+
+Result<PartialTuple> CheckInsertKeyEquivalent(
+    const DatabaseScheme& scheme, const std::vector<size_t>& pool,
+    const RepresentativeIndex& index, size_t rel, const PartialTuple& tuple,
+    MaintenanceStats* stats) {
+  return CheckInsertKeyEquivalent(scheme, DistinctPoolKeys(scheme, pool),
+                                  index, rel, tuple, stats);
+}
+
+Result<PartialTuple> CheckInsertKeyEquivalent(
+    const DatabaseScheme& scheme,
+    const std::vector<AttributeSet>& pool_keys,
+    const RepresentativeIndex& index, size_t rel, const PartialTuple& tuple,
+    MaintenanceStats* stats, MaintainScratch* scratch) {
+  IRD_CHECK(tuple.attrs() == scheme.relation(rel).attrs);
+  IRD_COUNT(maintain.alg2.checks);
+  // Algorithm 2's per-check latency: the expression-maintenance side of
+  // the paper's constant-vs-growing comparison with maintain.alg5.check_ns.
+  IRD_HISTOGRAM_TIMER_NS(maintain.alg2.check_ns);
+  MaintainScratch local_scratch;
+  MaintainScratch* s = scratch != nullptr ? scratch : &local_scratch;
 
   // Step (1): start from the keys of the inserted tuple's scheme.
-  std::vector<bool> processed(pool_keys.size(), false);
-  std::vector<bool> queued(pool_keys.size(), false);
-  std::vector<size_t> unprocessed;
+  s->processed.assign(pool_keys.size(), 0);
+  s->queued.assign(pool_keys.size(), 0);
+  s->unprocessed.clear();
   AttributeSet closure = scheme.relation(rel).attrs;
   for (size_t k = 0; k < pool_keys.size(); ++k) {
     if (pool_keys[k].IsSubsetOf(closure)) {
-      unprocessed.push_back(k);
-      queued[k] = true;
+      s->unprocessed.push_back(k);
+      s->queued[k] = 1;
     }
   }
   PartialTuple q = tuple;
 
   // Steps (2)-(10).
-  while (!unprocessed.empty()) {
-    size_t k = unprocessed.back();
-    unprocessed.pop_back();
-    processed[k] = true;
+  while (!s->unprocessed.empty()) {
+    size_t k = s->unprocessed.back();
+    s->unprocessed.pop_back();
+    s->processed[k] = 1;
     IRD_COUNT(maintain.alg2.keys_processed);
     if (stats != nullptr) ++stats->keys_processed;
 
     const AttributeSet& key = pool_keys[k];
-    PartialTuple key_values = q.Restrict(key);
-    const PartialTuple* p = index.Lookup(key, key_values);
+    q.RestrictInto(key, &s->key_seed);
+    const PartialTuple* p = index.Lookup(key, s->key_seed);
     IRD_COUNT(maintain.alg2.lookups);
     if (stats != nullptr) ++stats->lookups;
     // Step (4): v is the (unique) total tuple of the representative
     // instance with these key values, or the key values themselves.
-    const PartialTuple& v = (p != nullptr) ? *p : key_values;
+    const PartialTuple& v = (p != nullptr) ? *p : s->key_seed;
     // Step (5)-(6): q := q ⋈ v; empty join means inconsistent.
-    std::optional<PartialTuple> joined = q.Join(v);
-    if (!joined.has_value()) {
+    if (!q.JoinInto(v, &s->joined)) {
       IRD_COUNT(maintain.alg2.rejects);
       return Inconsistent("inserted tuple contradicts the total tuple on " +
                           scheme.universe().Format(key));
     }
-    q = std::move(*joined);
+    std::swap(q, s->joined);
     // Step (7): closure grows by v's defined attributes.
     closure.UnionWith(v.attrs());
     // Steps (8)-(9): queue the keys newly embedded in the closure.
     for (size_t k2 = 0; k2 < pool_keys.size(); ++k2) {
-      if (!processed[k2] && !queued[k2] &&
+      if (!s->processed[k2] && !s->queued[k2] &&
           pool_keys[k2].IsSubsetOf(closure)) {
-        unprocessed.push_back(k2);
-        queued[k2] = true;
+        s->unprocessed.push_back(k2);
+        s->queued[k2] = 1;
       }
     }
   }
@@ -99,8 +114,8 @@ Result<KeyEquivalentMaintainer> KeyEquivalentMaintainer::Create(
 
 Result<PartialTuple> KeyEquivalentMaintainer::CheckInsert(
     size_t rel, const PartialTuple& tuple, MaintenanceStats* stats) const {
-  return CheckInsertKeyEquivalent(state_.scheme(), pool_, index_, rel, tuple,
-                                  stats);
+  return CheckInsertKeyEquivalent(state_.scheme(), pool_keys_, index_, rel,
+                                  tuple, stats);
 }
 
 Status KeyEquivalentMaintainer::Insert(size_t rel,

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "core/maintain_scratch.h"
 #include "core/representative_index.h"
 #include "relation/database_state.h"
 
@@ -20,6 +21,12 @@ struct MaintenanceStats {
   size_t lookups = 0;
 };
 
+// The distinct keys embedded in the pool's relations — Algorithm 2's key
+// worklist universe. Depends only on the scheme and pool, so callers that
+// check many inserts compute it once (BlockShard caches it per block).
+std::vector<AttributeSet> DistinctPoolKeys(const DatabaseScheme& scheme,
+                                           const std::vector<size_t>& pool);
+
 // Algorithm 2 on one instance <s, t>: `index` must be the representative
 // instance of the (pool-restricted) current state; `rel` ∈ pool is the
 // relation receiving `tuple`. Returns the extended tuple q on success
@@ -29,6 +36,14 @@ Result<PartialTuple> CheckInsertKeyEquivalent(
     const DatabaseScheme& scheme, const std::vector<size_t>& pool,
     const RepresentativeIndex& index, size_t rel, const PartialTuple& tuple,
     MaintenanceStats* stats = nullptr);
+
+// As above with `pool_keys` precomputed by DistinctPoolKeys and optional
+// reusable scratch — the form the per-insert hot path (BlockShard) uses.
+Result<PartialTuple> CheckInsertKeyEquivalent(
+    const DatabaseScheme& scheme,
+    const std::vector<AttributeSet>& pool_keys,
+    const RepresentativeIndex& index, size_t rel, const PartialTuple& tuple,
+    MaintenanceStats* stats = nullptr, MaintainScratch* scratch = nullptr);
 
 // Stateful wrapper over a whole key-equivalent scheme: owns the state and
 // keeps the representative instance in sync across accepted inserts.
@@ -53,11 +68,13 @@ class KeyEquivalentMaintainer {
                           std::vector<size_t> pool)
       : state_(std::move(state)),
         index_(std::move(index)),
-        pool_(std::move(pool)) {}
+        pool_(std::move(pool)),
+        pool_keys_(DistinctPoolKeys(state_.scheme(), pool_)) {}
 
   DatabaseState state_;
   RepresentativeIndex index_;
   std::vector<size_t> pool_;
+  std::vector<AttributeSet> pool_keys_;  // DistinctPoolKeys(scheme, pool_)
 };
 
 }  // namespace ird

@@ -48,8 +48,11 @@ std::vector<Status> ShardedMaintainer::InsertBatch(
     IRD_HISTOGRAM_TIMER_NS(shard.validate_ns);
     size_t b = busy_shards[task];
     BlockShard& shard = state_.mutable_shard(b);
+    // One scratch per task: the restriction/join buffers are allocated on
+    // the first insert and recycled for the rest of the shard's slice.
+    MaintainScratch scratch;
     for (size_t i : by_shard[b]) {
-      verdicts[i] = shard.Insert(ops[i].rel, ops[i].tuple);
+      verdicts[i] = shard.Insert(ops[i].rel, ops[i].tuple, &scratch);
     }
   };
   pool_->ForEachIndex(busy_shards.size(), validate_shard);

@@ -1,11 +1,16 @@
 #include "core/tuple_extension.h"
 
+#include <utility>
+
 namespace ird {
 
 Result<PartialTuple> ExtendTuple(const DatabaseScheme& scheme,
                                  const StateKeyIndex& index,
                                  const PartialTuple& seed,
-                                 ExtensionStats* stats) {
+                                 ExtensionStats* stats,
+                                 MaintainScratch* scratch) {
+  MaintainScratch local_scratch;
+  MaintainScratch* s = scratch != nullptr ? scratch : &local_scratch;
   PartialTuple t = seed;
   // Step (2): while some tuple p of some si has a key Ki ⊆ C with
   // p[Ki] = t'[Ki] and Si - C ≠ ∅, absorb p. A (relation, key) probe that
@@ -22,17 +27,19 @@ Result<PartialTuple> ExtendTuple(const DatabaseScheme& scheme,
       for (const AttributeSet& key : r.keys) {
         if (!key.IsSubsetOf(t.attrs())) continue;
         if (stats != nullptr) ++stats->probes;
-        const PartialTuple* p = index.Probe(rel, key, t.Restrict(key));
+        t.RestrictInto(key, &s->restricted);
+        const PartialTuple* p = index.Probe(rel, key, s->restricted);
         if (p == nullptr) continue;
         // Step (3): t'[Si] := p[Si]; C := C ∪ Si. On a consistent state the
         // shared attributes agree; a clash means the state itself is
         // inconsistent.
-        std::optional<PartialTuple> joined = t.Join(*p);
-        if (!joined.has_value()) {
+        if (!t.JoinInto(*p, &s->joined)) {
           return Inconsistent(
               "state tuples disagree on chase-equated attributes");
         }
-        t = std::move(*joined);
+        // Swap rather than move so t's displaced buffer becomes the next
+        // join target.
+        std::swap(t, s->joined);
         if (stats != nullptr) ++stats->extensions;
         changed = true;
         break;

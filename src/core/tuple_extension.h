@@ -8,6 +8,7 @@
 #ifndef IRD_CORE_TUPLE_EXTENSION_H_
 #define IRD_CORE_TUPLE_EXTENSION_H_
 
+#include "core/maintain_scratch.h"
 #include "core/state_key_index.h"
 #include "relation/database_state.h"
 
@@ -24,10 +25,13 @@ struct ExtensionStats {
 // index's pool. Returns the extended tuple t' on C. Fails with
 // kInconsistent only if the underlying state is itself inconsistent (two
 // state tuples disagreeing on attributes the chase would equate).
+// `scratch` (optional) recycles the per-probe restriction and join buffers
+// across calls.
 Result<PartialTuple> ExtendTuple(const DatabaseScheme& scheme,
                                  const StateKeyIndex& index,
                                  const PartialTuple& seed,
-                                 ExtensionStats* stats = nullptr);
+                                 ExtensionStats* stats = nullptr,
+                                 MaintainScratch* scratch = nullptr);
 
 }  // namespace ird
 

@@ -5,15 +5,36 @@
 namespace ird {
 
 ClosureEngine::ClosureEngine(const FdSet& fds) {
+  // CSR build: count lhs memberships per attribute, prefix-sum into
+  // offsets, then fill. Filling in fd order keeps each attribute's fd list
+  // in ascending id order, matching the old vector-of-vectors iteration.
+  uint32_t max_attr = 0;
+  bool any = false;
+  fds_.reserve(fds.size());
   for (const FunctionalDependency& fd : fds.fds()) {
-    uint32_t id = static_cast<uint32_t>(fds_.size());
     fds_.push_back(IndexedFd{static_cast<uint32_t>(fd.lhs.Count()), fd.rhs});
     fd.lhs.ForEach([&](AttributeId a) {
-      if (by_attr_.size() <= a) by_attr_.resize(a + 1);
-      by_attr_[a].push_back(id);
+      any = true;
+      if (a > max_attr) max_attr = a;
     });
     // FDs with an empty left side fire unconditionally; model them as
     // lhs_size 0 handled in Closure().
+  }
+  const uint32_t nattrs = any ? max_attr + 1 : 0;
+  by_attr_offsets_.assign(nattrs + 1, 0);
+  for (const FunctionalDependency& fd : fds.fds()) {
+    fd.lhs.ForEach([&](AttributeId a) { ++by_attr_offsets_[a + 1]; });
+  }
+  for (uint32_t a = 0; a < nattrs; ++a) {
+    by_attr_offsets_[a + 1] += by_attr_offsets_[a];
+  }
+  by_attr_fds_.resize(by_attr_offsets_[nattrs]);
+  std::vector<uint32_t> fill(by_attr_offsets_.begin(),
+                             by_attr_offsets_.end() - 1);
+  uint32_t id = 0;
+  for (const FunctionalDependency& fd : fds.fds()) {
+    fd.lhs.ForEach([&](AttributeId a) { by_attr_fds_[fill[a]++] = id; });
+    ++id;
   }
 }
 
@@ -47,11 +68,16 @@ AttributeSet ClosureEngine::Closure(const AttributeSet& x) const {
       });
     }
   }
+  const uint32_t nattrs =
+      static_cast<uint32_t>(by_attr_offsets_.size() - 1);
   while (!stack_.empty()) {
     AttributeId a = stack_.back();
     stack_.pop_back();
-    if (a >= by_attr_.size()) continue;
-    for (uint32_t id : by_attr_[a]) {
+    if (a >= nattrs) continue;
+    const uint32_t* id_begin = by_attr_fds_.data() + by_attr_offsets_[a];
+    const uint32_t* id_end = by_attr_fds_.data() + by_attr_offsets_[a + 1];
+    for (const uint32_t* idp = id_begin; idp != id_end; ++idp) {
+      const uint32_t id = *idp;
       if (missing_[id] == 0) continue;
       if (--missing_[id] == 0) {
         ++fired;

@@ -36,8 +36,12 @@ class ClosureEngine {
   };
 
   std::vector<IndexedFd> fds_;
-  // For each attribute, the FDs whose left side contains it.
-  std::vector<std::vector<uint32_t>> by_attr_;
+  // For each attribute, the FDs whose left side contains it, flattened to
+  // CSR form: attr a's fd ids are by_attr_fds_[by_attr_offsets_[a] ..
+  // by_attr_offsets_[a+1]). One contiguous buffer instead of a
+  // vector-of-vectors keeps the counting loop on one cache stream.
+  std::vector<uint32_t> by_attr_offsets_;
+  std::vector<uint32_t> by_attr_fds_;
   // Scratch state, reused across calls (sized on first use): per-FD
   // unsatisfied-lhs counters and the attribute work stack. Steady-state
   // Closure() calls allocate nothing.

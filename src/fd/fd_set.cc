@@ -65,8 +65,10 @@ FdSet FdSet::MinimalCover() const {
     bool shrunk = true;
     while (shrunk) {
       shrunk = false;
-      std::vector<AttributeId> lhs = fd.lhs.ToVector();
-      for (AttributeId b : lhs) {
+      // Iterating fd.lhs directly (no ToVector temporary) is safe only
+      // because `break` immediately follows the mutation of fd.lhs — the
+      // iterator is never advanced past the assignment.
+      for (AttributeId b : fd.lhs) {
         if (fd.lhs.Count() <= 1) break;
         AttributeSet reduced = fd.lhs;
         reduced.Remove(b);
@@ -107,9 +109,11 @@ FdSet FdSet::ProjectOnto(const AttributeSet& scheme) const {
   IRD_CHECK_MSG(scheme.Count() <= 24,
                 "FD projection is exponential; scheme too large");
   // Enumerate X ⊆ scheme; emit X -> (X+ ∩ scheme). Redundant generators are
-  // pruned afterwards by minimization.
-  std::vector<AttributeId> attrs = scheme.ToVector();
-  size_t n = attrs.size();
+  // pruned afterwards by minimization. The ≤24 guard above bounds the
+  // stack buffer.
+  AttributeId attrs[24];
+  size_t n = 0;
+  scheme.ForEach([&](AttributeId a) { attrs[n++] = a; });
   FdSet projected;
   for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
     AttributeSet x;

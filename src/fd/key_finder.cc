@@ -6,12 +6,11 @@ namespace ird {
 
 namespace {
 
-// Generates all subsets of `attrs` of size `k` and calls `fn` on each;
+// Generates all subsets of attrs[0..n) of size `k` and calls `fn` on each;
 // stops early if `fn` returns false.
 template <typename Fn>
-bool ForEachSubsetOfSize(const std::vector<AttributeId>& attrs, size_t k,
+bool ForEachSubsetOfSize(const AttributeId* attrs, size_t n, size_t k,
                          Fn&& fn) {
-  size_t n = attrs.size();
   if (k > n) return true;
   std::vector<size_t> idx(k);
   for (size_t i = 0; i < k; ++i) idx[i] = i;
@@ -58,8 +57,10 @@ AttributeSet ReduceToKey(const AttributeSet& superkey,
   bool shrunk = true;
   while (shrunk) {
     shrunk = false;
-    std::vector<AttributeId> attrs = key.ToVector();
-    for (AttributeId a : attrs) {
+    // Iterating key directly (no ToVector temporary) is safe only because
+    // `break` immediately follows the mutation of key — the iterator is
+    // never advanced past the assignment.
+    for (AttributeId a : key) {
       AttributeSet smaller = key;
       smaller.Remove(a);
       if (!smaller.Empty() && fds.Implies(smaller, scheme)) {
@@ -76,12 +77,15 @@ std::vector<AttributeSet> FindCandidateKeys(const AttributeSet& scheme,
                                             const FdSet& fds) {
   IRD_CHECK_MSG(scheme.Count() <= 24,
                 "candidate-key enumeration is exponential; scheme too large");
-  std::vector<AttributeId> attrs = scheme.ToVector();
+  // The ≤24 guard above bounds the stack buffer.
+  AttributeId attrs[24];
+  size_t n = 0;
+  scheme.ForEach([&](AttributeId a) { attrs[n++] = a; });
   std::vector<AttributeSet> keys;
   // Enumerate by increasing size; a set is a candidate key iff it determines
   // the scheme and contains no previously found (smaller or equal) key.
-  for (size_t k = 1; k <= attrs.size(); ++k) {
-    ForEachSubsetOfSize(attrs, k, [&](const AttributeSet& subset) {
+  for (size_t k = 1; k <= n; ++k) {
+    ForEachSubsetOfSize(attrs, n, k, [&](const AttributeSet& subset) {
       for (const AttributeSet& key : keys) {
         if (key.IsSubsetOf(subset)) return true;  // not minimal
       }

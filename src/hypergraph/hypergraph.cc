@@ -252,10 +252,12 @@ bool IsGammaAcyclic(const Hypergraph& h) {
       nodes.UnionWith(h.edges()[i]);
     }
     std::vector<AttributeSet> bachman = BachmanClosure(edges);
-    std::vector<AttributeId> node_list = nodes.ToVector();
-    for (size_t i = 0; i < node_list.size(); ++i) {
-      for (size_t j = i + 1; j < node_list.size(); ++j) {
-        AttributeSet pair{node_list[i], node_list[j]};
+    // Pairwise iteration straight off the bitset: the outer loop walks the
+    // component's nodes, the inner loop resumes from the outer position.
+    for (auto i = nodes.begin(); i != nodes.end(); ++i) {
+      auto j = i;
+      for (++j; j != nodes.end(); ++j) {
+        AttributeSet pair{*i, *j};
         if (!UmcWithBachman(bachman, pair).has_value()) return false;
       }
     }
@@ -269,8 +271,10 @@ bool HasUmcForAllSubsets(const Hypergraph& h) {
   IRD_CHECK_MSG(h.IsConnected(),
                 "Theorem 2.1 characterizes connected hypergraphs");
   std::vector<AttributeSet> bachman = BachmanClosure(h.edges());
-  std::vector<AttributeId> nodes = h.nodes().ToVector();
-  size_t n = nodes.size();
+  // The ≤14 guard above bounds the stack buffer.
+  AttributeId nodes[14];
+  size_t n = 0;
+  h.nodes().ForEach([&](AttributeId a) { nodes[n++] = a; });
   for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
     AttributeSet x;
     for (size_t b = 0; b < n; ++b) {

@@ -3,11 +3,18 @@
 namespace ird {
 
 PartialTuple PartialTuple::Restrict(const AttributeSet& x) const {
+  PartialTuple out;
+  RestrictInto(x, &out);
+  return out;
+}
+
+void PartialTuple::RestrictInto(const AttributeSet& x,
+                                PartialTuple* out) const {
   IRD_CHECK_MSG(x.IsSubsetOf(attrs_), "restriction outside tuple's scheme");
-  std::vector<Value> vals;
-  vals.reserve(x.Count());
-  x.ForEach([&](AttributeId a) { vals.push_back(At(a)); });
-  return PartialTuple(x, std::move(vals));
+  out->attrs_ = x;
+  out->values_.clear();
+  out->values_.reserve(x.Count());
+  x.ForEach([&](AttributeId a) { out->values_.push_back(At(a)); });
 }
 
 bool PartialTuple::AgreesOn(const PartialTuple& other,
@@ -31,14 +38,22 @@ bool PartialTuple::JoinableWith(const PartialTuple& other) const {
 
 std::optional<PartialTuple> PartialTuple::Join(
     const PartialTuple& other) const {
-  if (!JoinableWith(other)) return std::nullopt;
-  AttributeSet joint = attrs_.Union(other.attrs_);
-  std::vector<Value> vals;
-  vals.reserve(joint.Count());
-  joint.ForEach([&](AttributeId a) {
-    vals.push_back(attrs_.Contains(a) ? At(a) : other.At(a));
+  PartialTuple out;
+  if (!JoinInto(other, &out)) return std::nullopt;
+  return out;
+}
+
+bool PartialTuple::JoinInto(const PartialTuple& other,
+                            PartialTuple* out) const {
+  if (!JoinableWith(other)) return false;
+  out->attrs_ = attrs_;
+  out->attrs_.UnionWith(other.attrs_);
+  out->values_.clear();
+  out->values_.reserve(out->attrs_.Count());
+  out->attrs_.ForEach([&](AttributeId a) {
+    out->values_.push_back(attrs_.Contains(a) ? At(a) : other.At(a));
   });
-  return PartialTuple(joint, std::move(vals));
+  return true;
 }
 
 size_t PartialTuple::Hash() const {

@@ -47,6 +47,10 @@ class PartialTuple {
   // t[X]: the restriction to X, which must be ⊆ attrs().
   PartialTuple Restrict(const AttributeSet& x) const;
 
+  // Scratch-reusing form of Restrict: overwrites *out, reusing its value
+  // buffer. `out` must not alias this.
+  void RestrictInto(const AttributeSet& x, PartialTuple* out) const;
+
   // True iff this and `other` have equal values on every attribute of x
   // (both must be defined on all of x).
   bool AgreesOn(const PartialTuple& other, const AttributeSet& x) const;
@@ -58,6 +62,11 @@ class PartialTuple {
   // attribute sets. Returns nullopt if they clash on a shared attribute —
   // the "q := q ⋈ v is empty" tests of Algorithms 2 and 5.
   std::optional<PartialTuple> Join(const PartialTuple& other) const;
+
+  // Scratch-reusing form of Join: on success overwrites *out (reusing its
+  // value buffer) and returns true; returns false on a clash, leaving *out
+  // unspecified. `out` must alias neither operand.
+  bool JoinInto(const PartialTuple& other, PartialTuple* out) const;
 
   bool operator==(const PartialTuple& other) const {
     return attrs_ == other.attrs_ && values_ == other.values_;

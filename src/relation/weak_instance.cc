@@ -4,6 +4,7 @@ namespace ird {
 
 Tableau StateTableau(const DatabaseState& state) {
   Tableau t(state.universe().size());
+  t.ReserveRows(state.TupleCount());
   for (size_t i = 0; i < state.relation_count(); ++i) {
     const AttributeSet& attrs = state.scheme().relation(i).attrs;
     for (const PartialTuple& tuple : state.relation(i).tuples()) {
@@ -33,9 +34,11 @@ Result<PartialRelation> TotalProjectionByChase(const DatabaseState& state,
   if (!ri.ok()) return ri.status();
   const Tableau& t = ri.value();
   PartialRelation out(x);
+  std::vector<Value> vals;
   for (size_t row = 0; row < t.row_count(); ++row) {
     if (t.TotalOn(row, x)) {
-      out.AddUnique(PartialTuple(x, t.ValuesOn(row, x)));
+      t.ValuesOn(row, x, &vals);
+      out.AddUnique(PartialTuple(x, vals));
     }
   }
   return out;

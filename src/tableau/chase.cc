@@ -1,9 +1,12 @@
 #include "tableau/chase.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "base/arena.h"
 #include "obs/obs.h"
 
 namespace ird {
@@ -12,6 +15,8 @@ namespace {
 
 constexpr uint32_t kNoEntry = static_cast<uint32_t>(-1);
 constexpr int32_t kNoNode = -1;
+
+std::atomic<const ChasePhaseObserver*> g_phase_observer{nullptr};
 
 uint64_t HashSyms(const SymId* syms, uint32_t len) {
   uint64_t h = 1469598103934665603ull;
@@ -23,20 +28,26 @@ uint64_t HashSyms(const SymId* syms, uint32_t len) {
 }
 
 // Open-addressing map from a canonical lhs symbol vector (one FD's bucket
-// key) to the bucket's rhs symbol. Keys live in a shared append-only arena,
-// entries and slots in flat vectors, so the steady-state probe allocates
-// nothing. Entries are never removed: an entry whose key contains a
-// merged-away symbol is stale, and stays — probes always canonicalize, so
-// no future lookup can produce a stale key, and every row that owned one is
-// re-probed under its repaired key by the merge-log walk.
+// key) to the bucket's rhs symbol. Keys live in a shared append-only key
+// store, entries and slots in arena-backed flat arrays; every buffer is
+// sized at Init so the steady-state probe allocates nothing (the slot table
+// gets room for 2*expected+2 so the load-factor grow can never trigger —
+// a BucketMap holds at most one entry per row). Entries are never removed:
+// an entry whose key contains a merged-away symbol is stale, and stays —
+// probes always canonicalize, so no future lookup can produce a stale key,
+// and every row that owned one is re-probed under its repaired key by the
+// merge-log walk.
 class BucketMap {
  public:
-  void Init(std::vector<SymId>* arena, size_t expected_entries) {
+  void Init(Arena* arena, ArenaVector<SymId>* keys, size_t expected_entries) {
     arena_ = arena;
+    keys_ = keys;
     size_t cap = 16;
-    while (cap < expected_entries * 2) cap <<= 1;
-    slots_.assign(cap, kNoEntry);
+    while (cap < expected_entries * 2 + 2) cap <<= 1;
+    slots_ = arena->AllocateArray<uint32_t>(cap);
+    std::memset(slots_, 0xff, cap * sizeof(uint32_t));  // all kNoEntry
     mask_ = cap - 1;
+    entries_.reserve(*arena, expected_entries);
   }
 
   // Looks `key` up; if absent, inserts (key -> value) and returns kNoEntry,
@@ -48,15 +59,16 @@ class BucketMap {
       uint32_t e = slots_[i];
       if (e == kNoEntry) {
         slots_[i] = static_cast<uint32_t>(entries_.size());
-        entries_.push_back(Entry{hash, static_cast<uint32_t>(arena_->size()),
+        entries_.push_back(*arena_,
+                           Entry{hash, static_cast<uint32_t>(keys_->size()),
                                  len, value});
-        arena_->insert(arena_->end(), key, key + len);
+        std::memcpy(keys_->extend(*arena_, len), key, len * sizeof(SymId));
         if (entries_.size() * 2 > mask_) Grow();
         return kNoEntry;
       }
       const Entry& entry = entries_[e];
       if (entry.hash == hash && entry.len == len &&
-          std::equal(key, key + len, arena_->data() + entry.offset)) {
+          std::equal(key, key + len, keys_->data() + entry.offset)) {
         return e;
       }
       i = (i + 1) & mask_;
@@ -69,14 +81,17 @@ class BucketMap {
  private:
   struct Entry {
     uint64_t hash;
-    uint32_t offset;  // into the shared key arena
+    uint32_t offset;  // into the shared key store
     uint32_t len;
     SymId value;
   };
 
+  // Unreachable given Init's sizing (kept for defense in depth); the old
+  // slot table is abandoned in the arena.
   void Grow() {
     size_t cap = (mask_ + 1) * 2;
-    slots_.assign(cap, kNoEntry);
+    slots_ = arena_->AllocateArray<uint32_t>(cap);
+    std::memset(slots_, 0xff, cap * sizeof(uint32_t));
     mask_ = cap - 1;
     for (uint32_t e = 0; e < entries_.size(); ++e) {
       size_t i = entries_[e].hash & mask_;
@@ -85,15 +100,20 @@ class BucketMap {
     }
   }
 
-  std::vector<SymId>* arena_ = nullptr;
-  std::vector<uint32_t> slots_;
+  Arena* arena_ = nullptr;
+  ArenaVector<SymId>* keys_ = nullptr;
+  uint32_t* slots_ = nullptr;
   size_t mask_ = 0;
-  std::vector<Entry> entries_;
+  ArenaVector<Entry> entries_;
 };
 
 // The delta-driven chase. One engine instance per invocation; all state is
-// local to it (and therefore thread-confined), sized once up front, so the
-// probe/repair loop performs no heap allocation in steady state.
+// local to it (and therefore thread-confined) and lives in one engine-owned
+// arena. Every buffer is sized in the constructor — bucket slots for the
+// no-grow bound, the occurrence pool for rows x indexed columns, the
+// worklist for its absorption-inclusive maximum, and the tableau's merge
+// log for one merge per symbol — so the probe/repair loop performs no heap
+// allocation at all: not in steady state, not on growth.
 //
 // Invariants the repair loop maintains:
 //  * Bucket entries hold keys that were canonical at insert time; the rhs
@@ -114,22 +134,55 @@ class ChaseEngine {
   ChaseEngine(Tableau* t, const FdSet& standard) : t_(t) {
     const size_t width = t_->width();
     const size_t rows = t_->row_count();
-    fds_.reserve(standard.size());
+    const size_t nfds = standard.size();
+    const size_t nsyms = t_->symbol_count();
+    fds_.reserve(nfds);
+    // fds-per-column in CSR form: counts, prefix sum, fill.
+    uint32_t* col_counts = arena_.AllocateZeroedArray<uint32_t>(width);
     size_t max_lhs = 0;
-    fds_by_col_.assign(width, {});
+    size_t total_lhs = 0;
     for (const FunctionalDependency& fd : standard.fds()) {
       // StandardForm splits every FD into single-attribute right sides; the
       // bucket structure is only sound under that shape.
       IRD_DCHECK(fd.rhs.Count() == 1);
-      uint32_t id = static_cast<uint32_t>(fds_.size());
-      fds_.push_back(IndexedFd{fd.lhs.ToVector(), fd.rhs.First(), {}});
-      fds_.back().buckets.Init(&key_arena_, rows);
-      max_lhs = std::max(max_lhs, fds_.back().lhs_cols.size());
-      for (AttributeId c : fds_.back().lhs_cols) fds_by_col_[c].push_back(id);
+      const size_t len = fd.lhs.Count();
+      AttributeId* cols = arena_.AllocateArray<AttributeId>(len);
+      size_t i = 0;
+      fd.lhs.ForEach([&](AttributeId c) {
+        cols[i++] = c;
+        ++col_counts[c];
+      });
+      fds_.push_back(IndexedFd{cols, static_cast<uint32_t>(len),
+                               fd.rhs.First(), {}});
+      fds_.back().buckets.Init(&arena_, &key_arena_, rows);
+      max_lhs = std::max(max_lhs, len);
+      total_lhs += len;
     }
-    lhs_scratch_.resize(max_lhs);
+    col_offsets_ = arena_.AllocateArray<uint32_t>(width + 1);
+    col_offsets_[0] = 0;
+    for (uint32_t c = 0; c < width; ++c) {
+      col_offsets_[c + 1] = col_offsets_[c] + col_counts[c];
+    }
+    col_fds_ = arena_.AllocateArray<uint32_t>(total_lhs);
+    uint32_t* fill = arena_.AllocateArray<uint32_t>(width);
+    std::memcpy(fill, col_offsets_, width * sizeof(uint32_t));
+    for (uint32_t f = 0; f < fds_.size(); ++f) {
+      const IndexedFd& fd = fds_[f];
+      for (uint32_t i = 0; i < fd.lhs_len; ++i) {
+        col_fds_[fill[fd.lhs_cols[i]]++] = f;
+      }
+    }
+    key_arena_.reserve(arena_, rows * total_lhs);
+    lhs_scratch_ = arena_.AllocateArray<SymId>(max_lhs);
     BuildOccurrenceIndex();
-    pending_.assign(fds_.size() * rows, 0);
+    pending_ = arena_.AllocateZeroedArray<uint8_t>(nfds * rows);
+    // Worklist bound: at most one live entry per (fd, row) pair, plus at
+    // most one stale entry per pair left behind by seed-scan absorption.
+    worklist_.reserve(arena_, 2 * nfds * rows);
+    // The chase performs fewer merges than there are symbol classes, so the
+    // merge log can grow by at most nsyms records; reserving them up front
+    // keeps Equate off the allocator during the drain.
+    t_->ReserveAdditionalMerges(nsyms);
     log_cursor_ = t_->merge_log().size();
   }
 
@@ -159,14 +212,23 @@ class ChaseEngine {
     // Drain the worklist: only (fd, row) pairs an actual merge re-touched
     // after their seed turn had passed. This is the engine's delta work —
     // what the pass-based chase redid with whole-tableau re-scans.
+    const ChasePhaseObserver* observer =
+        g_phase_observer.load(std::memory_order_acquire);
+    if (consistent && observer != nullptr &&
+        observer->on_drain_begin != nullptr) {
+      observer->on_drain_begin(observer->ctx);
+    }
     while (consistent && !worklist_.empty()) {
       uint64_t item = worklist_.back();
-      worklist_.pop_back();
+      worklist_.truncate(worklist_.size() - 1);
       if (!pending_[item]) continue;  // absorbed by the seed scan
       pending_[item] = 0;
       ++reprobes_;
       consistent = Probe(static_cast<uint32_t>(item / rows),
                          static_cast<size_t>(item % rows));
+    }
+    if (observer != nullptr && observer->on_drain_end != nullptr) {
+      observer->on_drain_end(observer->ctx);
     }
     stats->consistent = consistent;
     stats->rule_applications = equates_;
@@ -186,9 +248,12 @@ class ChaseEngine {
     if (consistent) t_->Canonicalize();
   }
 
+  const Arena& arena() const { return arena_; }
+
  private:
   struct IndexedFd {
-    std::vector<AttributeId> lhs_cols;
+    const AttributeId* lhs_cols;  // arena array, increasing order
+    uint32_t lhs_len;
     AttributeId rhs_col;
     BucketMap buckets;
   };
@@ -202,21 +267,23 @@ class ChaseEngine {
   void BuildOccurrenceIndex() {
     const size_t width = t_->width();
     const size_t rows = t_->row_count();
-    occ_head_.assign(t_->symbol_count(), kNoNode);
-    occ_tail_.assign(t_->symbol_count(), kNoNode);
-    occ_count_.assign(t_->symbol_count(), 0);
+    const size_t nsyms = t_->symbol_count();
+    occ_head_ = arena_.AllocateArray<int32_t>(nsyms);
+    occ_tail_ = arena_.AllocateArray<int32_t>(nsyms);
+    for (size_t s = 0; s < nsyms; ++s) occ_head_[s] = occ_tail_[s] = kNoNode;
+    occ_count_ = arena_.AllocateZeroedArray<uint32_t>(nsyms);
     size_t indexed_cols = 0;
     for (uint32_t c = 0; c < width; ++c) {
-      if (!fds_by_col_[c].empty()) ++indexed_cols;
+      if (col_offsets_[c + 1] != col_offsets_[c]) ++indexed_cols;
     }
-    occ_nodes_.reserve(rows * indexed_cols);
+    occ_nodes_.reserve(arena_, rows * indexed_cols);
     for (uint32_t c = 0; c < width; ++c) {
-      if (fds_by_col_[c].empty()) continue;
+      if (col_offsets_[c + 1] == col_offsets_[c]) continue;
       for (size_t r = 0; r < rows; ++r) {
         SymId s = t_->Cell(r, c);
         int32_t node = static_cast<int32_t>(occ_nodes_.size());
-        occ_nodes_.push_back(OccNode{static_cast<uint32_t>(r), c,
-                                     occ_head_[s]});
+        occ_nodes_.push_back(arena_, OccNode{static_cast<uint32_t>(r), c,
+                                             occ_head_[s]});
         if (occ_head_[s] == kNoNode) occ_tail_[s] = node;
         occ_head_[s] = node;
         ++occ_count_[s];
@@ -230,8 +297,8 @@ class ChaseEngine {
   // only insert a bucket nothing else can reach. The pair is enqueued the
   // moment that class first merges.
   bool SeedSkip(const IndexedFd& fd, size_t r) const {
-    for (AttributeId c : fd.lhs_cols) {
-      if (occ_count_[t_->Cell(r, c)] == 1) return true;
+    for (uint32_t i = 0; i < fd.lhs_len; ++i) {
+      if (occ_count_[t_->Cell(r, fd.lhs_cols[i])] == 1) return true;
     }
     return false;
   }
@@ -240,9 +307,9 @@ class ChaseEngine {
   // repairs the indexes from the merge log. Returns false on inconsistency.
   bool Probe(uint32_t f, size_t r) {
     IndexedFd& fd = fds_[f];
-    const uint32_t len = static_cast<uint32_t>(fd.lhs_cols.size());
+    const uint32_t len = fd.lhs_len;
     SymId stack_key[4];
-    SymId* key = len <= 4 ? stack_key : lhs_scratch_.data();
+    SymId* key = len <= 4 ? stack_key : lhs_scratch_;
     for (uint32_t i = 0; i < len; ++i) {
       key[i] = t_->Cell(r, fd.lhs_cols[i]);
     }
@@ -263,7 +330,7 @@ class ChaseEngine {
   }
 
   void DrainMergeLog() {
-    const std::vector<Tableau::MergeRecord>& log = t_->merge_log();
+    const ArenaVector<Tableau::MergeRecord>& log = t_->merge_log();
     while (log_cursor_ < log.size()) {
       const Tableau::MergeRecord rec = log[log_cursor_++];
       ++repairs_;
@@ -281,11 +348,13 @@ class ChaseEngine {
     const size_t rows = t_->row_count();
     for (int32_t n = occ_head_[s]; n != kNoNode; n = occ_nodes_[n].next) {
       const OccNode& node = occ_nodes_[n];
-      for (uint32_t f : fds_by_col_[node.col]) {
-        uint64_t item = static_cast<uint64_t>(f) * rows + node.row;
+      const uint32_t* fd_begin = col_fds_ + col_offsets_[node.col];
+      const uint32_t* fd_end = col_fds_ + col_offsets_[node.col + 1];
+      for (const uint32_t* fp = fd_begin; fp != fd_end; ++fp) {
+        uint64_t item = static_cast<uint64_t>(*fp) * rows + node.row;
         if (pending_[item]) continue;
         pending_[item] = 1;
-        worklist_.push_back(item);
+        worklist_.push_back(arena_, item);
         worklist_max_ = std::max(worklist_max_, worklist_.size());
       }
     }
@@ -305,16 +374,18 @@ class ChaseEngine {
   }
 
   Tableau* t_;
+  Arena arena_;                      // owns every buffer below
   std::vector<IndexedFd> fds_;
-  std::vector<std::vector<uint32_t>> fds_by_col_;  // lhs membership, per col
-  std::vector<SymId> key_arena_;       // all bucket keys, all FDs
-  std::vector<SymId> lhs_scratch_;     // key buffer for lhs vectors > 4
-  std::vector<OccNode> occ_nodes_;
-  std::vector<int32_t> occ_head_;      // per symbol; kNoNode if empty
-  std::vector<int32_t> occ_tail_;
-  std::vector<uint32_t> occ_count_;    // indexed cells per symbol class
-  std::vector<uint64_t> worklist_;     // fd * row_count + row, LIFO
-  std::vector<uint8_t> pending_;       // worklist membership bitmap
+  uint32_t* col_offsets_ = nullptr;  // CSR: fds-per-column offsets (width+1)
+  uint32_t* col_fds_ = nullptr;      // CSR: fd ids, grouped by column
+  ArenaVector<SymId> key_arena_;     // all bucket keys, all FDs
+  SymId* lhs_scratch_ = nullptr;     // key buffer for lhs vectors > 4
+  ArenaVector<OccNode> occ_nodes_;
+  int32_t* occ_head_ = nullptr;      // per symbol; kNoNode if empty
+  int32_t* occ_tail_ = nullptr;
+  uint32_t* occ_count_ = nullptr;    // indexed cells per symbol class
+  ArenaVector<uint64_t> worklist_;   // fd * row_count + row, LIFO
+  uint8_t* pending_ = nullptr;       // worklist membership bitmap
   size_t log_cursor_ = 0;
   size_t equates_ = 0;
   size_t seed_probes_ = 0;
@@ -325,6 +396,10 @@ class ChaseEngine {
 
 }  // namespace
 
+void SetChasePhaseObserverForTest(const ChasePhaseObserver* observer) {
+  g_phase_observer.store(observer, std::memory_order_release);
+}
+
 ChaseStats ChaseFds(Tableau* t, const FdSet& fds) {
   IRD_SPAN("chase");
   IRD_COUNT(chase.invocations);
@@ -333,11 +408,19 @@ ChaseStats ChaseFds(Tableau* t, const FdSet& fds) {
   if (standard.empty() || t->row_count() == 0) return stats;
   ChaseEngine engine(t, standard);
   engine.Run(&stats);
+  // arena.bytes / arena.highwater accumulate the tableau's and the engine's
+  // arena usage across chase invocations (documented in OBSERVABILITY.md as
+  // cumulative sums, like every other counter).
+  IRD_COUNT_ADD(arena.bytes,
+                t->arena().bytes_in_use() + engine.arena().bytes_in_use());
+  IRD_COUNT_ADD(arena.highwater, t->arena().highwater_bytes() +
+                                     engine.arena().highwater_bytes());
   return stats;
 }
 
 Tableau SchemeTableau(const DatabaseScheme& scheme) {
   Tableau t(scheme.universe().size());
+  t.ReserveRows(scheme.relations().size());
   for (const RelationScheme& r : scheme.relations()) {
     t.AddSchemeRow(r.attrs);
   }
@@ -362,7 +445,7 @@ size_t MinimizeByConstantSubsumption(Tableau* t) {
   // column-indexed value vector per row (only constant columns are valid).
   std::vector<std::vector<Value>> values(n);
   for (size_t i = 0; i < n; ++i) {
-    constant_cols[i] = t->ConstantColumns(i);
+    t->ConstantColumns(i, &constant_cols[i]);
     values[i].resize(t->width());
     constant_cols[i].ForEach([&](AttributeId c) {
       values[i][c] = t->ValueOf(t->Cell(i, c));

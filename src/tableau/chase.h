@@ -50,6 +50,21 @@ struct ChaseStats {
 // meaningless and stats.consistent is false.
 ChaseStats ChaseFds(Tableau* t, const FdSet& fds);
 
+// Test-only seam: callbacks fired at the boundaries of the engine's
+// worklist-drain phase (the steady-state loop that must not heap-allocate;
+// see tests/allocation_test.cc). Not fired when the chase goes inconsistent
+// before the drain starts.
+struct ChasePhaseObserver {
+  void (*on_drain_begin)(void* ctx) = nullptr;
+  void (*on_drain_end)(void* ctx) = nullptr;
+  void* ctx = nullptr;
+};
+
+// Registers `observer` for subsequent ChaseFds calls on this thread's
+// engine runs (global, last registration wins; nullptr unregisters). The
+// observer is not owned and must outlive its registration.
+void SetChasePhaseObserverForTest(const ChasePhaseObserver* observer);
+
 // The tableau T_R for a database scheme (paper §2.2): one row per relation
 // scheme, dv on its attributes, fresh ndv's elsewhere.
 Tableau SchemeTableau(const DatabaseScheme& scheme);

@@ -1,6 +1,7 @@
 #include "tableau/tableau.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "obs/obs.h"
 
@@ -10,9 +11,27 @@ namespace {
 constexpr SymId kNoSymId = static_cast<SymId>(-1);
 }  // namespace
 
+Tableau::Tableau(const Tableau& other)
+    : width_(other.width_),
+      row_count_(other.row_count_),
+      constant_cache_(other.constant_cache_),
+      dv_cache_(other.dv_cache_) {
+  symbols_.assign(arena_, other.symbols_.data(), other.symbols_.size());
+  cells_.assign(arena_, other.cells_.data(), other.cells_.size());
+  merge_log_.assign(arena_, other.merge_log_.data(), other.merge_log_.size());
+}
+
+Tableau& Tableau::operator=(const Tableau& other) {
+  if (this != &other) {
+    Tableau copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
 SymId Tableau::NewSymbol(SymbolKind kind, Value aux) {
   SymId id = static_cast<SymId>(symbols_.size());
-  symbols_.push_back(SymbolInfo{kind, aux, id});
+  symbols_.push_back(arena_, SymbolInfo{kind, aux, id});
   return id;
 }
 
@@ -41,39 +60,48 @@ SymId Tableau::FreshNdv() {
                    static_cast<Value>(symbols_.size()));
 }
 
-size_t Tableau::AddRow(std::vector<SymId> cells) {
-  IRD_CHECK(cells.size() == width_);
+SymId* Tableau::AppendRowStorage() {
   IRD_COUNT(tableau.rows_materialized);
-  rows_.push_back(std::move(cells));
-  return rows_.size() - 1;
+  ++row_count_;
+  return cells_.extend(arena_, width_);
+}
+
+size_t Tableau::AddRow(const SymId* cells, size_t n) {
+  IRD_CHECK(n == width_);
+  SymId* strip = AppendRowStorage();
+  std::memcpy(strip, cells, width_ * sizeof(SymId));
+  return row_count_ - 1;
 }
 
 size_t Tableau::AddSchemeRow(const AttributeSet& scheme_attrs) {
-  std::vector<SymId> cells(width_);
+  // Symbol creation may regrow symbols_ while the strip is being filled, but
+  // the strip pointer stays valid: symbols_ and cells_ are separate buffers.
+  SymId* strip = AppendRowStorage();
   for (uint32_t c = 0; c < width_; ++c) {
-    cells[c] = scheme_attrs.Contains(c) ? Dv(c) : FreshNdv();
+    strip[c] = scheme_attrs.Contains(c) ? Dv(c) : FreshNdv();
   }
-  return AddRow(std::move(cells));
+  return row_count_ - 1;
 }
 
 size_t Tableau::AddTupleRow(const AttributeSet& scheme_attrs,
                             const std::vector<Value>& values) {
   IRD_CHECK(values.size() == scheme_attrs.Count());
-  std::vector<SymId> cells(width_, kNoSymId);
+  SymId* strip = AppendRowStorage();
+  for (uint32_t c = 0; c < width_; ++c) strip[c] = kNoSymId;
   size_t vi = 0;
   scheme_attrs.ForEach([&](AttributeId a) {
     IRD_CHECK(a < width_);
-    cells[a] = Constant(values[vi++]);
+    strip[a] = Constant(values[vi++]);
   });
   for (uint32_t c = 0; c < width_; ++c) {
-    if (cells[c] == kNoSymId) cells[c] = FreshNdv();
+    if (strip[c] == kNoSymId) strip[c] = FreshNdv();
   }
-  return AddRow(std::move(cells));
+  return row_count_ - 1;
 }
 
 SymId Tableau::Find(SymId s) const {
   // Path halving; symbols_ is conceptually mutable state of the union-find.
-  auto& symbols = const_cast<std::vector<SymbolInfo>&>(symbols_);
+  auto& symbols = const_cast<ArenaVector<SymbolInfo>&>(symbols_);
   while (symbols[s].parent != s) {
     symbols[s].parent = symbols[symbols[s].parent].parent;
     s = symbols[s].parent;
@@ -120,59 +148,76 @@ bool Tableau::Equate(SymId a, SymId b) {
     loser = rb;
   }
   symbols_[loser].parent = winner;
-  merge_log_.push_back(MergeRecord{winner, loser});
+  merge_log_.push_back(arena_, MergeRecord{winner, loser});
   return true;
 }
 
 AttributeSet Tableau::ConstantColumns(size_t row) const {
   AttributeSet out;
-  for (uint32_t c = 0; c < width_; ++c) {
-    if (IsConstant(rows_[row][c])) out.Add(c);
-  }
+  ConstantColumns(row, &out);
   return out;
+}
+
+void Tableau::ConstantColumns(size_t row, AttributeSet* out) const {
+  *out = AttributeSet();
+  const SymId* strip = cells_.data() + row * width_;
+  for (uint32_t c = 0; c < width_; ++c) {
+    if (IsConstant(strip[c])) out->Add(c);
+  }
 }
 
 AttributeSet Tableau::DvColumns(size_t row) const {
   AttributeSet out;
+  const SymId* strip = cells_.data() + row * width_;
   for (uint32_t c = 0; c < width_; ++c) {
-    if (KindOf(rows_[row][c]) == SymbolKind::kDistinguished) out.Add(c);
+    if (KindOf(strip[c]) == SymbolKind::kDistinguished) out.Add(c);
   }
   return out;
 }
 
 bool Tableau::TotalOn(size_t row, const AttributeSet& x) const {
-  bool total = true;
-  x.ForEach([&](AttributeId a) {
-    if (!IsConstant(rows_[row][a])) total = false;
-  });
-  return total;
+  const SymId* strip = cells_.data() + row * width_;
+  for (AttributeId a : x) {
+    if (!IsConstant(strip[a])) return false;
+  }
+  return true;
 }
 
 std::vector<Value> Tableau::ValuesOn(size_t row, const AttributeSet& x) const {
   std::vector<Value> out;
-  out.reserve(x.Count());
-  x.ForEach([&](AttributeId a) { out.push_back(ValueOf(rows_[row][a])); });
+  ValuesOn(row, x, &out);
   return out;
 }
 
+void Tableau::ValuesOn(size_t row, const AttributeSet& x,
+                       std::vector<Value>* out) const {
+  out->clear();
+  out->reserve(x.Count());
+  const SymId* strip = cells_.data() + row * width_;
+  x.ForEach([&](AttributeId a) { out->push_back(ValueOf(strip[a])); });
+}
+
 void Tableau::RemoveRows(const std::vector<bool>& dead) {
-  IRD_CHECK(dead.size() == rows_.size());
+  IRD_CHECK(dead.size() == row_count_);
+  SymId* base = cells_.data();
   size_t keep = 0;
-  for (size_t i = 0; i < rows_.size(); ++i) {
+  for (size_t i = 0; i < row_count_; ++i) {
     if (!dead[i]) {
-      if (keep != i) rows_[keep] = std::move(rows_[i]);
+      if (keep != i) {
+        std::memmove(base + keep * width_, base + i * width_,
+                     width_ * sizeof(SymId));
+      }
       ++keep;
     }
   }
-  rows_.resize(keep);
+  cells_.truncate(keep * width_);
+  row_count_ = keep;
 }
 
 void Tableau::Canonicalize() {
-  for (auto& row : rows_) {
-    for (SymId& cell : row) {
-      cell = Find(cell);
-    }
-  }
+  SymId* base = cells_.data();
+  const size_t n = cells_.size();
+  for (size_t i = 0; i < n; ++i) base[i] = Find(base[i]);
 }
 
 std::string Tableau::ToString(const Universe& universe) const {
@@ -182,9 +227,10 @@ std::string Tableau::ToString(const Universe& universe) const {
     out += "\t";
   }
   out += "\n";
-  for (const auto& row : rows_) {
+  for (size_t row = 0; row < row_count_; ++row) {
+    const SymId* strip = cells_.data() + row * width_;
     for (uint32_t c = 0; c < width_; ++c) {
-      SymId s = Find(row[c]);
+      SymId s = Find(strip[c]);
       const SymbolInfo& info = symbols_[s];
       switch (info.kind) {
         case SymbolKind::kConstant:

@@ -8,6 +8,13 @@
 // an fd-rule application is a near-O(1) merge. Precedence when merging two
 // classes follows the paper: constant beats dv beats ndv; two distinct
 // constants are an inconsistency; ndv with the lower id wins among ndv's.
+//
+// Storage is struct-of-arrays: all cells live in one contiguous
+// width-strided SymId buffer (row r occupies cells_[r*width .. r*width+width)),
+// and the symbol table and merge log are flat arrays too. Everything is
+// backed by a per-tableau bump arena, so growing the tableau during a chase
+// costs pointer arithmetic, not malloc, and a row scan walks one cache-friendly
+// buffer. RowRef is the borrowed view of one row's cell strip.
 
 #ifndef IRD_TABLEAU_TABLEAU_H_
 #define IRD_TABLEAU_TABLEAU_H_
@@ -17,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/arena.h"
 #include "base/attribute_set.h"
 #include "base/check.h"
 #include "base/universe.h"
@@ -42,13 +50,26 @@ class Tableau {
   // A tableau over columns 0..width-1 (usually |U|).
   explicit Tableau(size_t width) : width_(width) {}
 
-  Tableau(const Tableau&) = default;
-  Tableau& operator=(const Tableau&) = default;
+  // Deep copy: the copy gets its own arena with a compacted image of the
+  // cells, symbols, and merge log.
+  Tableau(const Tableau& other);
+  Tableau& operator=(const Tableau& other);
   Tableau(Tableau&&) = default;
   Tableau& operator=(Tableau&&) = default;
 
   size_t width() const { return width_; }
-  size_t row_count() const { return rows_.size(); }
+  size_t row_count() const { return row_count_; }
+
+  // --- Capacity hints -------------------------------------------------------
+
+  // Pre-sizes the cell buffer for `rows` total rows, so AddRow/AddSchemeRow
+  // up to that count never regrow.
+  void ReserveRows(size_t rows) { cells_.reserve(arena_, rows * width_); }
+  // Pre-sizes the merge log for `merges` more records, so Equate during a
+  // chase drain never regrows (a chase performs < symbol_count() merges).
+  void ReserveAdditionalMerges(size_t merges) {
+    merge_log_.reserve(arena_, merge_log_.size() + merges);
+  }
 
   // --- Symbol construction -------------------------------------------------
 
@@ -61,9 +82,11 @@ class Tableau {
 
   // --- Row construction ----------------------------------------------------
 
-  // Appends a row; `cells` must have exactly width() entries. Returns the
-  // row index.
-  size_t AddRow(std::vector<SymId> cells);
+  // Appends a row of exactly width() cells. Returns the row index.
+  size_t AddRow(const SymId* cells, size_t n);
+  size_t AddRow(const std::vector<SymId>& cells) {
+    return AddRow(cells.data(), cells.size());
+  }
 
   // Appends the canonical scheme-tableau row for `scheme_attrs`: dv on the
   // scheme's columns, fresh ndv elsewhere.
@@ -75,11 +98,34 @@ class Tableau {
   size_t AddTupleRow(const AttributeSet& scheme_attrs,
                      const std::vector<Value>& values);
 
+  // --- Row access -----------------------------------------------------------
+
+  // Borrowed view of one row's contiguous cell strip (raw SymIds, not
+  // canonicalized). Invalidated by any row mutation on the tableau.
+  class RowRef {
+   public:
+    SymId operator[](size_t column) const { return cells_[column]; }
+    size_t size() const { return width_; }
+    const SymId* data() const { return cells_; }
+    const SymId* begin() const { return cells_; }
+    const SymId* end() const { return cells_ + width_; }
+
+   private:
+    friend class Tableau;
+    RowRef(const SymId* cells, size_t width) : cells_(cells), width_(width) {}
+    const SymId* cells_;
+    size_t width_;
+  };
+
+  RowRef Row(size_t row) const {
+    return RowRef(cells_.data() + row * width_, width_);
+  }
+
   // --- Symbol inspection (always through the union-find root) --------------
 
   // Canonical symbol currently in (row, column).
   SymId Cell(size_t row, uint32_t column) const {
-    return Find(rows_[row][column]);
+    return Find(cells_[row * width_ + column]);
   }
 
   // Canonical representative of s's equivalence class.
@@ -121,7 +167,7 @@ class Tableau {
 
   // All merges performed so far, in order. Never truncated: consumers keep
   // a cursor into it (see the chase engine's index repair loop).
-  const std::vector<MergeRecord>& merge_log() const { return merge_log_; }
+  const ArenaVector<MergeRecord>& merge_log() const { return merge_log_; }
 
   // Total number of symbols ever created (canonical or not) — the size of
   // the id space occurrence indexes must cover.
@@ -131,6 +177,8 @@ class Tableau {
 
   // Columns of `row` currently holding constants.
   AttributeSet ConstantColumns(size_t row) const;
+  // Scratch-reusing form: resets *out and fills it, no temporaries.
+  void ConstantColumns(size_t row, AttributeSet* out) const;
   // Columns of `row` currently holding distinguished variables.
   AttributeSet DvColumns(size_t row) const;
   // True iff `row` is total (all constants) on every column of x.
@@ -138,6 +186,9 @@ class Tableau {
   // The constant values of `row` on x (which must be total on x), aligned
   // with increasing column order.
   std::vector<Value> ValuesOn(size_t row, const AttributeSet& x) const;
+  // Scratch-reusing form: clears *out and appends, reusing its capacity.
+  void ValuesOn(size_t row, const AttributeSet& x,
+                std::vector<Value>* out) const;
 
   // Drops rows whose index is flagged in `dead` (used by minimization).
   void RemoveRows(const std::vector<bool>& dead);
@@ -145,6 +196,10 @@ class Tableau {
   // Rewrites every cell to its canonical symbol (clean snapshot after a
   // chase; purely cosmetic for performance of later scans).
   void Canonicalize();
+
+  // The backing arena, exposed read-only so operation roots can flush its
+  // usage into the arena.* obs counters (base/ cannot emit counters itself).
+  const Arena& arena() const { return arena_; }
 
   // Debug rendering with attribute names from `universe`; constants print
   // as c<value>, dv as a<col>, ndv as b<id>.
@@ -162,11 +217,18 @@ class Tableau {
 
   SymId Find(SymId s) const;
   SymId NewSymbol(SymbolKind kind, Value aux);
+  // Appends one row's strip and returns its cell pointer.
+  SymId* AppendRowStorage();
 
   size_t width_;
-  std::vector<SymbolInfo> symbols_;
-  std::vector<std::vector<SymId>> rows_;
-  std::vector<MergeRecord> merge_log_;
+  size_t row_count_ = 0;
+  // Declared before the vectors it backs (destruction order is irrelevant —
+  // arena payloads are trivially destructible — but initialization order in
+  // the copy constructor matters).
+  Arena arena_;
+  ArenaVector<SymbolInfo> symbols_;
+  ArenaVector<SymId> cells_;  // row_count_ * width_ cells, width-strided
+  ArenaVector<MergeRecord> merge_log_;
   // Caches for deduplicated constants and per-column dv's.
   std::unordered_map<Value, SymId> constant_cache_;
   std::vector<SymId> dv_cache_;  // indexed by column; kNoSymId if absent

@@ -156,6 +156,94 @@ TEST(AttributeSetTest, RandomizedAlgebraAgainstStdSet) {
   }
 }
 
+// --- Small-buffer boundary properties ---------------------------------
+// The inline representation holds kInlineWords * 64 attribute ids; these
+// sweeps pin the semantics at and around the spill threshold: a set must
+// behave identically whether its words live inline or on the heap.
+
+TEST(AttributeSetTest, BoundaryEqualityAndHashAcrossRepresentations) {
+  for (AttributeId boundary : {63u, 64u, 127u, 128u, 129u}) {
+    // Built low-to-high: crosses inline→heap exactly when boundary >= 128.
+    AttributeSet ascending;
+    for (AttributeId a = 0; a <= boundary; ++a) ascending.Add(a);
+    // Built high-to-low: spills on the first Add, then fills downward.
+    AttributeSet descending;
+    for (AttributeId a = boundary + 1; a-- > 0;) descending.Add(a);
+    // Built oversized then trimmed: exercises Normalize after Remove.
+    AttributeSet trimmed = AttributeSet::AllUpTo(boundary + 200);
+    for (AttributeId a = boundary + 199; a > boundary; --a) trimmed.Remove(a);
+
+    EXPECT_EQ(ascending, descending) << "boundary " << boundary;
+    EXPECT_EQ(ascending, trimmed) << "boundary " << boundary;
+    EXPECT_EQ(ascending, AttributeSet::AllUpTo(boundary + 1));
+    EXPECT_EQ(AttributeSetHash{}(ascending), AttributeSetHash{}(descending));
+    EXPECT_EQ(AttributeSetHash{}(ascending), AttributeSetHash{}(trimmed));
+    EXPECT_FALSE(ascending < descending);
+    EXPECT_FALSE(descending < ascending);
+    EXPECT_EQ(ascending.Count(), size_t{boundary} + 1);
+  }
+}
+
+TEST(AttributeSetTest, BoundaryNormalizationAfterHighBitRemoval) {
+  for (AttributeId boundary : {63u, 64u, 127u, 128u, 129u}) {
+    AttributeSet s{1, boundary};
+    s.Remove(boundary);
+    // The trailing words drop out of the comparison entirely: equality,
+    // hash, and order against a never-spilled {1} must all agree.
+    AttributeSet one{1};
+    EXPECT_EQ(s, one) << "boundary " << boundary;
+    EXPECT_EQ(AttributeSetHash{}(s), AttributeSetHash{}(one));
+    EXPECT_FALSE(s < one);
+    EXPECT_FALSE(one < s);
+    EXPECT_EQ(s.Count(), 1u);
+  }
+}
+
+TEST(AttributeSetTest, BoundaryFirstAndRank) {
+  for (AttributeId boundary : {63u, 64u, 127u, 128u, 129u}) {
+    AttributeSet s{boundary};
+    EXPECT_EQ(s.First(), boundary);
+    EXPECT_EQ(s.Rank(boundary), 0u);
+    s.Add(5);
+    EXPECT_EQ(s.First(), 5u);
+    EXPECT_EQ(s.Rank(boundary), 1u);
+    AttributeSet all = AttributeSet::AllUpTo(boundary + 1);
+    EXPECT_EQ(all.First(), 0u);
+    EXPECT_EQ(all.Rank(boundary), size_t{boundary});
+  }
+}
+
+TEST(AttributeSetTest, BoundaryIteratorMatchesToVector) {
+  std::mt19937 rng(42);
+  for (AttributeId boundary : {63u, 64u, 127u, 128u, 129u}) {
+    AttributeSet s;
+    for (int i = 0; i < 25; ++i) s.Add(rng() % (boundary + 1));
+    s.Add(boundary);
+    std::vector<AttributeId> from_iter(s.begin(), s.end());
+    std::vector<AttributeId> from_foreach;
+    s.ForEach([&](AttributeId a) { from_foreach.push_back(a); });
+    EXPECT_EQ(from_iter, s.ToVector()) << "boundary " << boundary;
+    EXPECT_EQ(from_foreach, s.ToVector()) << "boundary " << boundary;
+  }
+}
+
+TEST(AttributeSetTest, BoundaryCopyAndSubtractRecompact) {
+  for (AttributeId boundary : {127u, 128u, 129u}) {
+    // Spill, subtract everything above the inline range, then copy: the
+    // copy re-compacts to the inline representation and must still equal
+    // (and hash like) the set built inline from scratch.
+    AttributeSet spilled = AttributeSet::AllUpTo(boundary + 1);
+    spilled.SubtractAll(AttributeSet::AllUpTo(boundary + 1).Minus(
+        AttributeSet::AllUpTo(3)));
+    AttributeSet copy = spilled;
+    AttributeSet inline_built = AttributeSet::AllUpTo(3);
+    EXPECT_EQ(copy, inline_built);
+    EXPECT_EQ(spilled, inline_built);
+    EXPECT_EQ(AttributeSetHash{}(copy), AttributeSetHash{}(inline_built));
+    EXPECT_EQ(AttributeSetHash{}(spilled), AttributeSetHash{}(inline_built));
+  }
+}
+
 TEST(UniverseTest, InternIsIdempotent) {
   Universe u;
   AttributeId a = u.Intern("Hour");

@@ -165,6 +165,57 @@ TEST(ChaseTest, LosslessnessOfPaperSchemes) {
             test::Example2().IsLossless());
 }
 
+TEST(TableauTest, RowRefViewsContiguousStrip) {
+  Tableau t(3);
+  t.AddTupleRow(AttributeSet{0, 1, 2}, {10, 20, 30});
+  t.AddTupleRow(AttributeSet{0, 2}, {40, 50});
+  Tableau::RowRef r0 = t.Row(0);
+  EXPECT_EQ(r0.size(), 3u);
+  for (uint32_t c = 0; c < 3; ++c) EXPECT_EQ(r0[c], t.Cell(0, c));
+  // The view iterates the raw strip; resolved cells match Cell().
+  size_t c = 0;
+  for (SymId s : t.Row(1)) {
+    EXPECT_EQ(t.Canonical(s), t.Cell(1, c++));
+  }
+  EXPECT_EQ(c, 3u);
+}
+
+TEST(TableauTest, ScratchOverloadsMatchAllocatingForms) {
+  Tableau t(4);
+  t.AddTupleRow(AttributeSet{0, 1, 3}, {7, 8, 9});
+  t.AddSchemeRow(AttributeSet{1, 2});
+  for (size_t row = 0; row < t.row_count(); ++row) {
+    AttributeSet cols;
+    t.ConstantColumns(row, &cols);
+    EXPECT_EQ(cols, t.ConstantColumns(row));
+  }
+  std::vector<Value> vals = {99, 99, 99};  // stale contents must be cleared
+  t.ValuesOn(0, AttributeSet{0, 3}, &vals);
+  EXPECT_EQ(vals, t.ValuesOn(0, AttributeSet{0, 3}));
+}
+
+TEST(TableauTest, DeepCopyIsIndependent) {
+  Tableau t(2);
+  t.AddTupleRow(AttributeSet{0, 1}, {1, 2});
+  size_t row = t.AddSchemeRow(AttributeSet{0});
+  Tableau copy = t;
+  // Mutating the copy (merge + new row) must not leak into the original.
+  ASSERT_TRUE(copy.Equate(copy.Cell(row, 1), copy.Constant(5)));
+  copy.AddTupleRow(AttributeSet{0, 1}, {3, 4});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(copy.row_count(), 3u);
+  EXPECT_FALSE(t.IsConstant(t.Cell(row, 1)));
+  EXPECT_TRUE(copy.IsConstant(copy.Cell(row, 1)));
+  EXPECT_EQ(t.merge_log().size(), 0u);
+  EXPECT_EQ(copy.merge_log().size(), 1u);
+  // Copy-assignment over an already-populated tableau.
+  Tableau reassigned(2);
+  reassigned.AddTupleRow(AttributeSet{0, 1}, {8, 8});
+  reassigned = t;
+  EXPECT_EQ(reassigned.row_count(), 2u);
+  EXPECT_EQ(reassigned.Cell(0, 0), t.Cell(0, 0));
+}
+
 TEST(ChaseTest, MinimizeByConstantSubsumption) {
   Tableau t(3);
   t.AddTupleRow(AttributeSet{0, 1}, {1, 2});        // subsumed by row 2

@@ -1,0 +1,5 @@
+// FIXTURE: the bottom layer reaching up the stack (base -> tableau). The
+// arena lives in base precisely so the whole engine can sit on it; if it
+// ever includes a consumer, the layering is inverted and the lint must say
+// so.
+#include "tableau/tableau.h"
